@@ -1,0 +1,120 @@
+// Regenerates Figure 2: speedups of the synchronous, fully asynchronous, and
+// Global_Read (age 0/5/10/20/30) island-GA implementations over the cached
+// serial GA, on the unloaded 10 Mbps shared Ethernet, for 2..16 processors.
+// Prints the paper's three panels: the best case (function 1), the
+// eight-function average (ratio of summed serial to summed parallel times),
+// and the "best partially asynchronous over best competitor" bar.
+//
+// Defaults are reduced for a quick run; --paper-scale restores the paper's
+// 1000-generation, 25-repetition protocol (expect a long run).
+#include <iostream>
+#include <vector>
+
+#include "exp/ga_experiments.hpp"
+#include "sim/time.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  nscc::util::Flags flags;
+  flags.add_int("generations", 200, "sync/serial generation budget (paper: 1000)")
+      .add_int("reps", 2, "repetitions (paper: 25)")
+      .add_int("functions", 8, "use test functions 1..N")
+      .add_string("procs", "2,4,8,16", "comma-separated processor counts")
+      .add_int("seed", 1, "base seed")
+      .add_bool("paper-scale", false, "paper protocol: 1000 gens, 25 reps")
+      .add_bool("csv", false, "also emit CSV");
+  if (!flags.parse(argc, argv)) return 1;
+
+  int generations = static_cast<int>(flags.get_int("generations"));
+  int reps = static_cast<int>(flags.get_int("reps"));
+  if (flags.get_bool("paper-scale")) {
+    generations = 1000;
+    reps = 25;
+  }
+  const int nfuncs = static_cast<int>(flags.get_int("functions"));
+
+  std::vector<int> procs;
+  {
+    const std::string& s = flags.get_string("procs");
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+      const auto comma = s.find(',', pos);
+      procs.push_back(std::stoi(s.substr(pos, comma - pos)));
+      pos = comma == std::string::npos ? s.size() : comma + 1;
+    }
+  }
+
+  const std::vector<std::string> variant_names = {
+      "sync", "async", "age0", "age5", "age10", "age20", "age30"};
+
+  for (int P : procs) {
+    std::vector<nscc::exp::GaCellResult> cells;
+    for (int f = 1; f <= nfuncs; ++f) {
+      nscc::exp::GaCellConfig cfg;
+      cfg.function_id = f;
+      cfg.processors = P;
+      cfg.generations = generations;
+      cfg.reps = reps;
+      cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+      cells.push_back(nscc::exp::run_ga_cell(cfg));
+    }
+    const auto avg = nscc::exp::average_cells(cells);
+
+    nscc::util::Table table("Figure 2 - GA speedups, unloaded network, P=" +
+                            std::to_string(P));
+    std::vector<std::string> cols = {"series"};
+    for (const auto& n : variant_names) cols.push_back(n);
+    cols.push_back("best/bestcomp");
+    table.columns(cols);
+
+    auto emit = [&](const std::string& label,
+                    const std::vector<nscc::exp::GaVariantResult>& variants,
+                    double white_bar) {
+      table.row().cell(label);
+      for (const auto& name : variant_names) {
+        for (const auto& v : variants) {
+          if (v.name == name) {
+            table.cell(v.speedup, 2);
+            break;
+          }
+        }
+      }
+      table.cell(white_bar, 2);
+    };
+    emit("f1 (best case)", cells.front().variants,
+         cells.front().best_partial_over_best_competitor());
+    // The paper's white bar for the average panel: best partial vs best
+    // competitor computed on the averaged speedups.
+    double best_partial = 0.0;
+    double best_other = 0.0;
+    for (const auto& v : avg) {
+      if (v.name.rfind("age", 0) == 0) {
+        best_partial = std::max(best_partial, v.speedup);
+      } else if (v.name != "serial") {
+        best_other = std::max(best_other, v.speedup);
+      }
+    }
+    // Serial itself is a competitor with speedup 1 by definition.
+    best_other = std::max(best_other, 1.0);
+    emit("average (8 fns)", avg, best_partial / best_other);
+    table.print(std::cout);
+
+    nscc::util::Table diag("diagnostics (f1): generations to match sync "
+                           "quality, bus utilization, warp");
+    diag.columns({"variant", "gens", "quality ok", "bus util", "warp"});
+    for (const auto& v : cells.front().variants) {
+      if (v.name == "serial") continue;
+      diag.row()
+          .cell(v.name)
+          .cell(v.mean_generations, 0)
+          .cell(v.quality_ok_fraction, 2)
+          .cell(v.bus_utilization, 2)
+          .cell(v.mean_warp, 2);
+    }
+    diag.print(std::cout);
+    std::cout << '\n';
+    if (flags.get_bool("csv")) std::cout << table.to_csv() << '\n';
+  }
+  return 0;
+}

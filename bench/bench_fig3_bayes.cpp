@@ -1,0 +1,83 @@
+// Regenerates Figure 3: speedups of the parallel probabilistic-inference
+// implementations (sync, async, Global_Read ages) over the sequential logic
+// sampler, on a 2-node configuration with an unloaded network, for the four
+// belief networks of Table 2, plus the cross-network average and the
+// "best partial over best competitor" bar.
+#include <iostream>
+
+#include "exp/bayes_experiments.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  nscc::util::Flags flags;
+  flags.add_int("reps", 3, "repetitions (paper: 10)")
+      .add_int("queries", 3, "query nodes per network")
+      .add_int("seed", 21, "base seed")
+      .add_bool("paper-scale", false, "paper protocol: 10 reps")
+      .add_bool("csv", false, "also emit CSV");
+  if (!flags.parse(argc, argv)) return 1;
+
+  nscc::exp::BayesCellConfig cfg;
+  cfg.reps = flags.get_bool("paper-scale")
+                 ? 10
+                 : static_cast<int>(flags.get_int("reps"));
+  cfg.queries_per_net = static_cast<int>(flags.get_int("queries"));
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+
+  std::vector<nscc::exp::BayesCellResult> cells;
+  for (const auto& net : nscc::exp::table2_networks()) {
+    cells.push_back(nscc::exp::run_bayes_cell(net, cfg));
+  }
+  const auto avg = nscc::exp::average_bayes_cells(cells);
+
+  nscc::util::Table table(
+      "Figure 3 - Bayesian network speedups, 2 processors, unloaded network");
+  std::vector<std::string> cols = {"network"};
+  for (const auto& v : cells.front().variants) {
+    if (v.name != "serial") cols.push_back(v.name);
+  }
+  cols.push_back("best/bestcomp");
+  table.columns(cols);
+
+  for (const auto& cell : cells) {
+    table.row().cell(cell.network);
+    for (const auto& v : cell.variants) {
+      if (v.name != "serial") table.cell(v.speedup, 2);
+    }
+    table.cell(cell.best_partial_over_best_competitor(), 2);
+  }
+  table.row().cell("average");
+  double best_partial = 0.0;
+  double best_other = 1.0;  // Serial is always a competitor at 1.0.
+  for (const auto& v : avg) {
+    if (v.name == "serial") continue;
+    table.cell(v.speedup, 2);
+    if (v.name.rfind("age", 0) == 0) {
+      best_partial = std::max(best_partial, v.speedup);
+    } else {
+      best_other = std::max(best_other, v.speedup);
+    }
+  }
+  table.cell(best_partial / best_other, 2);
+  table.print(std::cout);
+
+  nscc::util::Table diag("Rollback diagnostics (mean per run)");
+  diag.columns({"network", "async rollbacks", "async resampled",
+                "age5 rollbacks", "age5 resampled", "age30 rollbacks",
+                "age30 resampled"});
+  for (const auto& cell : cells) {
+    diag.row()
+        .cell(cell.network)
+        .cell(cell.variant("async").rollbacks, 0)
+        .cell(cell.variant("async").nodes_resampled, 0)
+        .cell(cell.variant("age5").rollbacks, 0)
+        .cell(cell.variant("age5").nodes_resampled, 0)
+        .cell(cell.variant("age30").rollbacks, 0)
+        .cell(cell.variant("age30").nodes_resampled, 0);
+  }
+  std::cout << '\n';
+  diag.print(std::cout);
+  if (flags.get_bool("csv")) std::cout << '\n' << table.to_csv();
+  return 0;
+}

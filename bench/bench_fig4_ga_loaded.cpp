@@ -1,0 +1,88 @@
+// Regenerates Figure 4: GA speedups on the loaded network.  Four processors
+// run the benchmarks while a network loader injects 0.5 / 1 / 2 Mbps of
+// background traffic into the shared 10 Mbps Ethernet (the paper used two
+// dedicated loader nodes).  Prints function 1 (best case) and the
+// eight-function average per load level, plus the best-partial-over-best-
+// competitor bar, which the paper shows growing with load.
+#include <iostream>
+#include <vector>
+
+#include "exp/ga_experiments.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  nscc::util::Flags flags;
+  flags.add_int("generations", 200, "sync/serial generation budget (paper: 1000)")
+      .add_int("reps", 2, "repetitions (paper: 25)")
+      .add_int("functions", 8, "use test functions 1..N")
+      .add_int("processors", 4, "GA processors (paper: 4 + 2 loader nodes)")
+      .add_int("seed", 1, "base seed")
+      .add_bool("paper-scale", false, "paper protocol: 1000 gens, 25 reps")
+      .add_bool("csv", false, "also emit CSV");
+  if (!flags.parse(argc, argv)) return 1;
+
+  int generations = static_cast<int>(flags.get_int("generations"));
+  int reps = static_cast<int>(flags.get_int("reps"));
+  if (flags.get_bool("paper-scale")) {
+    generations = 1000;
+    reps = 25;
+  }
+  const int nfuncs = static_cast<int>(flags.get_int("functions"));
+
+  const std::vector<double> loads_mbps = {0.0, 0.5, 1.0, 2.0};
+  const std::vector<std::string> variant_names = {
+      "sync", "async", "age0", "age5", "age10", "age20", "age30"};
+
+  nscc::util::Table table("Figure 4 - GA speedups on the loaded network (P=" +
+                          std::to_string(flags.get_int("processors")) + ")");
+  std::vector<std::string> cols = {"load", "series"};
+  for (const auto& n : variant_names) cols.push_back(n);
+  cols.push_back("best/bestcomp");
+  table.columns(cols);
+
+  for (double load : loads_mbps) {
+    std::vector<nscc::exp::GaCellResult> cells;
+    for (int f = 1; f <= nfuncs; ++f) {
+      nscc::exp::GaCellConfig cfg;
+      cfg.function_id = f;
+      cfg.processors = static_cast<int>(flags.get_int("processors"));
+      cfg.generations = generations;
+      cfg.reps = reps;
+      cfg.loader_mbps = load;
+      cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+      cells.push_back(nscc::exp::run_ga_cell(cfg));
+    }
+    const auto avg = nscc::exp::average_cells(cells);
+
+    auto emit = [&](const std::string& label,
+                    const std::vector<nscc::exp::GaVariantResult>& variants,
+                    double white_bar) {
+      table.row().cell(nscc::util::format_double(load, 1) + " Mbps").cell(label);
+      for (const auto& name : variant_names) {
+        for (const auto& v : variants) {
+          if (v.name == name) {
+            table.cell(v.speedup, 2);
+            break;
+          }
+        }
+      }
+      table.cell(white_bar, 2);
+    };
+    emit("f1", cells.front().variants,
+         cells.front().best_partial_over_best_competitor());
+    double best_partial = 0.0;
+    double best_other = 1.0;
+    for (const auto& v : avg) {
+      if (v.name.rfind("age", 0) == 0) {
+        best_partial = std::max(best_partial, v.speedup);
+      } else if (v.name != "serial") {
+        best_other = std::max(best_other, v.speedup);
+      }
+    }
+    emit("average", avg, best_partial / best_other);
+  }
+  table.print(std::cout);
+  if (flags.get_bool("csv")) std::cout << '\n' << table.to_csv();
+  return 0;
+}

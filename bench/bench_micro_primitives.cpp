@@ -1,0 +1,151 @@
+// Micro-benchmarks (google-benchmark) for the substrate primitives: event
+// engine throughput, fiber context switches, packet serialisation, shared
+// bus arbitration, DSM write/global_read fast paths, GA generation step,
+// and belief-network sampling.  These quantify the *host* cost of the
+// simulator (virtual time is free), i.e. how fast experiments run.
+#include <benchmark/benchmark.h>
+
+#include "bayes/generators.hpp"
+#include "dsm/shared_space.hpp"
+#include "ga/deme.hpp"
+#include "net/shared_bus.hpp"
+#include "rt/packet.hpp"
+#include "rt/vm.hpp"
+#include "sim/engine.hpp"
+#include "util/bitvec.hpp"
+
+namespace {
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    nscc::sim::Engine eng;
+    long count = 0;
+    for (int i = 0; i < 1000; ++i) {
+      eng.schedule(i, [&count] { ++count; });
+    }
+    eng.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineEventThroughput);
+
+void BM_FiberSwitch(benchmark::State& state) {
+  nscc::sim::Engine eng;
+  // One process ping-ponging with the engine via zero-delays.
+  auto& proc = eng.spawn("spin", [](nscc::sim::Process& p) {
+    for (;;) p.delay(1);
+  });
+  (void)proc;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    eng.run(++t);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FiberSwitch);
+
+void BM_PacketPackUnpack(benchmark::State& state) {
+  std::vector<double> payload(64, 1.5);
+  for (auto _ : state) {
+    nscc::rt::Packet p;
+    p.pack_i32(7);
+    p.pack_i64(42);
+    p.pack_double_vec(payload);
+    benchmark::DoNotOptimize(p.unpack_i32());
+    benchmark::DoNotOptimize(p.unpack_i64());
+    benchmark::DoNotOptimize(p.unpack_double_vec());
+  }
+}
+BENCHMARK(BM_PacketPackUnpack);
+
+void BM_SharedBusTransmit(benchmark::State& state) {
+  for (auto _ : state) {
+    nscc::sim::Engine eng;
+    nscc::net::SharedBus bus(eng, {});
+    for (int i = 0; i < 256; ++i) {
+      bus.transmit(512, [](nscc::sim::Time) {});
+    }
+    eng.run();
+    benchmark::DoNotOptimize(bus.stats().frames_sent);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_SharedBusTransmit);
+
+void BM_DsmWriteGlobalRead(benchmark::State& state) {
+  for (auto _ : state) {
+    nscc::rt::MachineConfig cfg;
+    cfg.ntasks = 2;
+    cfg.send_sw_overhead = 0;
+    cfg.recv_sw_overhead = 0;
+    nscc::rt::VirtualMachine vm(cfg);
+    vm.add_task("w", [](nscc::rt::Task& t) {
+      nscc::dsm::SharedSpace space(t);
+      space.declare_written(1, {1});
+      for (int i = 0; i < 128; ++i) {
+        nscc::rt::Packet p;
+        p.pack_double(i);
+        space.write(1, i, std::move(p));
+        t.compute(nscc::sim::kMillisecond);
+      }
+    });
+    vm.add_task("r", [](nscc::rt::Task& t) {
+      nscc::dsm::SharedSpace space(t);
+      space.declare_read(1, 0);
+      for (int i = 0; i < 128; ++i) {
+        benchmark::DoNotOptimize(space.global_read(1, i, 2).iteration);
+      }
+    });
+    vm.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_DsmWriteGlobalRead);
+
+void BM_BitVecCrossoverMutate(benchmark::State& state) {
+  nscc::util::Xoshiro256 rng(1);
+  nscc::util::BitVec a(240);
+  nscc::util::BitVec b(240);
+  a.randomize(rng);
+  b.randomize(rng);
+  nscc::util::BitVec ca;
+  nscc::util::BitVec cb;
+  for (auto _ : state) {
+    nscc::util::BitVec::crossover(a, b, 1 + rng.below(239), ca, cb);
+    ca.flip(rng.below(240));
+    benchmark::DoNotOptimize(ca.hash());
+  }
+}
+BENCHMARK(BM_BitVecCrossoverMutate);
+
+void BM_GaGenerationStep(benchmark::State& state) {
+  const auto& fn = nscc::ga::test_function(static_cast<int>(state.range(0)));
+  nscc::ga::Deme deme(fn, {}, nscc::util::Xoshiro256(3));
+  deme.initialize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deme.step().evaluations);
+  }
+}
+BENCHMARK(BM_GaGenerationStep)->Arg(1)->Arg(6);
+
+void BM_BeliefNetworkSample(benchmark::State& state) {
+  const auto net = nscc::bayes::make_network_a();
+  const auto order = net.topological_order();
+  nscc::util::Xoshiro256 rng(5);
+  std::vector<int> assignment(static_cast<std::size_t>(net.size()), 0);
+  for (auto _ : state) {
+    for (auto id : order) {
+      assignment[static_cast<std::size_t>(id)] =
+          net.sample_node(id, assignment, rng);
+    }
+    benchmark::DoNotOptimize(assignment);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(net.size()));
+}
+BENCHMARK(BM_BeliefNetworkSample);
+
+}  // namespace
+
+BENCHMARK_MAIN();

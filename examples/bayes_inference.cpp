@@ -1,0 +1,104 @@
+// Example: parallel probabilistic inference with rollback.
+//
+// Builds the paper's Figure 1 belief network (the medical-diagnosis
+// example), runs sequential logic sampling for reference, then distributes
+// the network over two simulated nodes and runs the speculative
+// (default-value + rollback) sampler under a Global_Read staleness bound.
+// All modes converge to the same posteriors; the table shows what each one
+// pays to get there.
+//
+//   $ ./examples/bayes_inference [--age 10] [--iterations 6000]
+#include <cstdio>
+#include <iostream>
+
+#include "bayes/logic_sampling.hpp"
+#include "bayes/parallel_sampling.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+using namespace nscc;
+
+namespace {
+
+/// The paper's Figure 1: A -> {B, C}; {B, C} -> D; C -> E.
+bayes::BeliefNetwork figure1() {
+  bayes::BeliefNetwork net;
+  const auto a = net.add_node("metastatic-cancer", 2);
+  const auto b = net.add_node("serum-calcium", 2);
+  const auto c = net.add_node("brain-tumor", 2);
+  const auto d = net.add_node("coma", 2);
+  const auto e = net.add_node("headache", 2);
+  net.set_parents(b, {a});
+  net.set_parents(c, {a});
+  net.set_parents(d, {b, c});
+  net.set_parents(e, {c});
+  net.set_cpt(a, {0.80, 0.20});
+  net.set_cpt(b, {0.80, 0.20, 0.20, 0.80});
+  net.set_cpt(c, {0.95, 0.05, 0.20, 0.80});
+  net.set_cpt(d, {0.95, 0.05, 0.40, 0.60, 0.30, 0.70, 0.20, 0.80});
+  net.set_cpt(e, {0.90, 0.10, 0.30, 0.70});
+  net.validate();
+  return net;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.add_int("age", 10, "Global_Read staleness bound")
+      .add_int("iterations", 6000, "sampling iterations for parallel runs")
+      .add_int("seed", 11, "random seed");
+  if (!flags.parse(argc, argv)) return 1;
+
+  const auto net = figure1();
+  // Query: P(coma = true | metastatic-cancer = true).
+  const std::vector<bayes::Evidence> evidence = {{0, 1}};
+  const std::vector<bayes::Query> queries = {{3, 1}, {4, 1}};
+
+  bayes::InferenceConfig serial_cfg;
+  serial_cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const auto serial = bayes::run_logic_sampling(net, evidence, queries, serial_cfg);
+  std::printf("sequential logic sampling: %llu runs (%llu evidence-consistent), "
+              "%.2fs virtual\n",
+              static_cast<unsigned long long>(serial.samples_drawn),
+              static_cast<unsigned long long>(serial.samples_used),
+              sim::to_seconds(serial.completion_time));
+
+  util::Table table("P(coma | cancer) and P(headache | cancer), 2 nodes");
+  table.columns({"variant", "P(coma)", "P(headache)", "time s", "rollbacks",
+                 "nodes resampled", "messages"});
+  table.row()
+      .cell("sequential")
+      .cell(serial.estimates[0].probability, 3)
+      .cell(serial.estimates[1].probability, 3)
+      .cell(sim::to_seconds(serial.completion_time), 2)
+      .cell("-")
+      .cell("-")
+      .cell("-");
+
+  for (auto [label, mode, age] :
+       {std::tuple{"synchronous", dsm::Mode::kSynchronous, 0L},
+        {"asynchronous", dsm::Mode::kAsynchronous, 0L},
+        {"Global_Read", dsm::Mode::kPartialAsync, flags.get_int("age")}}) {
+    bayes::ParallelInferenceConfig cfg;
+    cfg.mode = mode;
+    cfg.age = age;
+    cfg.iterations = static_cast<std::uint64_t>(flags.get_int("iterations"));
+    cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    const auto r =
+        bayes::run_parallel_logic_sampling(net, evidence, queries, cfg, {});
+    table.row()
+        .cell(label)
+        .cell(r.estimates[0].probability, 3)
+        .cell(r.estimates[1].probability, 3)
+        .cell(sim::to_seconds(r.completion_time), 2)
+        .cell(r.rollbacks)
+        .cell(r.nodes_resampled)
+        .cell(r.messages_sent);
+  }
+  table.print(std::cout);
+  std::printf("\nAll parallel variants converge to identical validated\n"
+              "posteriors (counter-based randomness); they differ only in\n"
+              "time, messages, and rollback work.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Example: partially asynchronous island GA on Rastrigin (function 6).
+//
+// Runs the same workload in the three implementation styles the paper
+// compares — synchronous, fully asynchronous, and Global_Read with an age
+// bound — and prints completion time, solution quality, and the mechanism
+// counters that explain the differences.
+//
+//   $ ./examples/island_ga [--demes 8] [--generations 150] [--age 10]
+#include <cstdio>
+#include <iostream>
+
+#include "ga/island.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+using namespace nscc;
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.add_int("demes", 8, "number of islands (simulated nodes)")
+      .add_int("generations", 150, "generations per deme")
+      .add_int("function", 6, "test function 1..8 (6 = Rastrigin)")
+      .add_int("age", 10, "staleness bound for the Global_Read variant")
+      .add_int("seed", 7, "random seed");
+  if (!flags.parse(argc, argv)) return 1;
+
+  util::Table table("Island GA on " +
+                    ga::test_function(static_cast<int>(flags.get_int("function")))
+                        .name);
+  table.columns({"variant", "completion s", "best fitness", "avg fitness",
+                 "messages", "gr blocks", "block time s", "bus util"});
+
+  for (auto [label, mode, age] :
+       {std::tuple{"synchronous", dsm::Mode::kSynchronous, 0L},
+        {"asynchronous", dsm::Mode::kAsynchronous, 0L},
+        {"Global_Read", dsm::Mode::kPartialAsync, flags.get_int("age")}}) {
+    ga::IslandConfig cfg;
+    cfg.function_id = static_cast<int>(flags.get_int("function"));
+    cfg.mode = mode;
+    cfg.age = age;
+    cfg.ndemes = static_cast<int>(flags.get_int("demes"));
+    cfg.generations = static_cast<int>(flags.get_int("generations"));
+    cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    cfg.propagation.coalesce = mode == dsm::Mode::kPartialAsync;
+    const auto r = ga::run_island_ga(cfg, {});
+    table.row()
+        .cell(label)
+        .cell(sim::to_seconds(r.completion_time), 2)
+        .cell(r.best_fitness, 4)
+        .cell(r.final_average, 4)
+        .cell(r.messages_sent)
+        .cell(r.global_read_blocks)
+        .cell(sim::to_seconds(r.global_read_block_time), 2)
+        .cell(r.bus_utilization, 2);
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nThe Global_Read variant trades bounded staleness (age=%lld) for\n"
+      "overlap of communication with computation; the synchronous variant\n"
+      "pays a barrier plus fresh-data waits every generation.\n",
+      static_cast<long long>(flags.get_int("age")));
+  return 0;
+}

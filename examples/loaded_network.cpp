@@ -1,0 +1,58 @@
+// Example: non-strict coherence under network load.
+//
+// Reproduces the paper's loaded-network scenario in miniature: an island GA
+// on four simulated nodes shares the 10 Mbps Ethernet with a background
+// load generator.  As the offered load rises, watch the synchronous
+// variant's completion time climb while the Global_Read variant holds —
+// and watch the warp metric report the rising load.
+//
+//   $ ./examples/loaded_network [--generations 120]
+#include <cstdio>
+#include <iostream>
+
+#include "ga/island.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+using namespace nscc;
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.add_int("generations", 120, "generations per deme")
+      .add_int("demes", 4, "GA nodes (the paper used 4 + 2 loader nodes)")
+      .add_int("seed", 3, "random seed");
+  if (!flags.parse(argc, argv)) return 1;
+
+  util::Table table("Island GA (f1) vs background Ethernet load");
+  table.columns({"load Mbps", "variant", "completion s", "bus util",
+                 "mean warp", "gr block s"});
+
+  for (double load_mbps : {0.0, 2.0, 4.0, 6.0}) {
+    for (auto [label, mode, age] :
+         {std::tuple{"sync", dsm::Mode::kSynchronous, 0L},
+          {"async", dsm::Mode::kAsynchronous, 0L},
+          {"age20", dsm::Mode::kPartialAsync, 20L}}) {
+      ga::IslandConfig cfg;
+      cfg.function_id = 1;
+      cfg.mode = mode;
+      cfg.age = age;
+      cfg.ndemes = static_cast<int>(flags.get_int("demes"));
+      cfg.generations = static_cast<int>(flags.get_int("generations"));
+      cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+      cfg.propagation.coalesce = mode == dsm::Mode::kPartialAsync;
+      const auto r = ga::run_island_ga(cfg, {}, load_mbps * 1e6);
+      table.row()
+          .cell(load_mbps, 1)
+          .cell(label)
+          .cell(sim::to_seconds(r.completion_time), 2)
+          .cell(r.bus_utilization, 2)
+          .cell(r.mean_warp, 3)
+          .cell(sim::to_seconds(r.global_read_block_time), 2);
+    }
+  }
+  table.print(std::cout);
+  std::printf("\nThe receiver-driven flow control of Global_Read prevents\n"
+              "the initial onset of congestion instead of reacting to it\n"
+              "(the paper's closing argument against Warp-style control).\n");
+  return 0;
+}

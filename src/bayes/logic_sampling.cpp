@@ -1,0 +1,133 @@
+#include "bayes/logic_sampling.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace nscc::bayes {
+
+InferenceResult run_logic_sampling(const BeliefNetwork& net,
+                                   const std::vector<Evidence>& evidence,
+                                   const std::vector<Query>& queries,
+                                   const InferenceConfig& config) {
+  util::Xoshiro256 rng(config.seed);
+  const auto order = net.topological_order();
+
+  std::vector<int> assignment(static_cast<std::size_t>(net.size()), 0);
+  std::vector<std::uint64_t> hits(queries.size(), 0);
+
+  InferenceResult result;
+  sim::Time now = 0;
+  util::Xoshiro256 stall_rng(config.seed ^ 0x57a11ULL);
+  const auto per_sample = static_cast<sim::Time>(
+      static_cast<double>(static_cast<sim::Time>(net.size()) *
+                          config.cost_per_node_sample) *
+      config.node_speed);
+
+  auto converged = [&](std::uint64_t used) {
+    if (used == 0) return false;
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const auto ci = util::proportion_ci(hits[q], used, config.confidence);
+      if (ci.half_width() > config.precision) return false;
+    }
+    return true;
+  };
+
+  while (result.samples_drawn < config.max_samples) {
+    for (NodeId id : order) {
+      assignment[static_cast<std::size_t>(id)] =
+          net.sample_node(id, assignment, rng);
+    }
+    ++result.samples_drawn;
+    now += per_sample;
+    if (stall_rng.bernoulli(config.stall_probability)) {
+      now += static_cast<sim::Time>(
+          stall_rng.uniform(static_cast<double>(config.stall_min),
+                            static_cast<double>(config.stall_max)));
+    }
+
+    bool consistent = true;
+    for (const Evidence& e : evidence) {
+      if (assignment[static_cast<std::size_t>(e.node)] != e.value) {
+        consistent = false;
+        break;
+      }
+    }
+    if (consistent) {
+      ++result.samples_used;
+      for (std::size_t q = 0; q < queries.size(); ++q) {
+        if (assignment[static_cast<std::size_t>(queries[q].node)] ==
+            queries[q].value) {
+          ++hits[q];
+        }
+      }
+    }
+
+    if (result.samples_drawn % static_cast<std::uint64_t>(
+                                   config.check_interval) ==
+        0) {
+      if (converged(result.samples_used)) {
+        result.converged = true;
+        break;
+      }
+    }
+  }
+  if (!result.converged) result.converged = converged(result.samples_used);
+
+  result.completion_time = now;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    QueryEstimate est;
+    est.query = queries[q];
+    est.probability = result.samples_used == 0
+                          ? 0.0
+                          : static_cast<double>(hits[q]) /
+                                static_cast<double>(result.samples_used);
+    est.ci =
+        util::proportion_ci(hits[q], result.samples_used, config.confidence);
+    result.estimates.push_back(est);
+  }
+  return result;
+}
+
+std::vector<Query> default_queries(const BeliefNetwork& net, int count,
+                                   std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  const auto defaults = net.default_values();
+  std::set<NodeId> chosen;
+  // Prefer sink-ish nodes (late in topological order), like diagnostic
+  // queries; fall back to random picks.
+  const auto order = net.topological_order();
+  for (int i = static_cast<int>(order.size()) - 1;
+       i >= 0 && static_cast<int>(chosen.size()) < count; --i) {
+    if (rng.bernoulli(0.5)) chosen.insert(order[static_cast<std::size_t>(i)]);
+  }
+  for (NodeId id = 0; static_cast<int>(chosen.size()) < count && id < net.size();
+       ++id) {
+    chosen.insert(id);
+  }
+  std::vector<Query> queries;
+  for (NodeId id : chosen) {
+    queries.push_back({id, defaults[static_cast<std::size_t>(id)]});
+  }
+  return queries;
+}
+
+std::vector<Evidence> default_evidence(const BeliefNetwork& net, int count,
+                                       std::uint64_t seed) {
+  util::Xoshiro256 rng(seed ^ 0xeuLL);
+  const auto defaults = net.default_values();
+  const auto order = net.topological_order();
+  std::set<NodeId> chosen;
+  // Evidence on root-ish nodes at their most likely value keeps the
+  // rejection rate tolerable for plain logic sampling.
+  for (std::size_t i = 0;
+       i < order.size() && static_cast<int>(chosen.size()) < count; ++i) {
+    if (rng.bernoulli(0.5)) chosen.insert(order[i]);
+  }
+  std::vector<Evidence> evidence;
+  for (NodeId id : chosen) {
+    evidence.push_back({id, defaults[static_cast<std::size_t>(id)]});
+  }
+  return evidence;
+}
+
+}  // namespace nscc::bayes

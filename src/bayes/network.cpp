@@ -1,0 +1,190 @@
+#include "bayes/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace nscc::bayes {
+
+NodeId BeliefNetwork::add_node(std::string name, int cardinality) {
+  if (cardinality < 2) {
+    throw std::invalid_argument("BeliefNetwork: cardinality must be >= 2");
+  }
+  Node n;
+  n.name = std::move(name);
+  n.cardinality = cardinality;
+  nodes_.push_back(std::move(n));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void BeliefNetwork::set_parents(NodeId id, std::vector<NodeId> parents) {
+  for (NodeId p : parents) {
+    if (p < 0 || p >= size() || p == id) {
+      throw std::invalid_argument("BeliefNetwork: bad parent id");
+    }
+  }
+  nodes_.at(static_cast<std::size_t>(id)).parents = std::move(parents);
+}
+
+void BeliefNetwork::set_cpt(NodeId id, std::vector<double> cpt) {
+  Node& n = nodes_.at(static_cast<std::size_t>(id));
+  const std::size_t expected =
+      cpt_rows(id) * static_cast<std::size_t>(n.cardinality);
+  if (cpt.size() != expected) {
+    throw std::invalid_argument("BeliefNetwork: CPT size mismatch");
+  }
+  n.cpt = std::move(cpt);
+}
+
+std::size_t BeliefNetwork::cpt_rows(NodeId id) const {
+  const Node& n = node(id);
+  std::size_t rows = 1;
+  for (NodeId p : n.parents) {
+    rows *= static_cast<std::size_t>(node(p).cardinality);
+  }
+  return rows;
+}
+
+std::size_t BeliefNetwork::cpt_row(
+    NodeId id, const std::vector<int>& parent_values) const {
+  const Node& n = node(id);
+  if (parent_values.size() != n.parents.size()) {
+    throw std::invalid_argument("BeliefNetwork: parent value count mismatch");
+  }
+  std::size_t row = 0;
+  for (std::size_t i = 0; i < n.parents.size(); ++i) {
+    row = row * static_cast<std::size_t>(node(n.parents[i]).cardinality) +
+          static_cast<std::size_t>(parent_values[i]);
+  }
+  return row;
+}
+
+double BeliefNetwork::conditional(
+    NodeId id, int value, const std::vector<int>& parent_values) const {
+  const Node& n = node(id);
+  const std::size_t row = cpt_row(id, parent_values);
+  return n.cpt.at(row * static_cast<std::size_t>(n.cardinality) +
+                  static_cast<std::size_t>(value));
+}
+
+int BeliefNetwork::sample_node(NodeId id, const std::vector<int>& assignment,
+                               util::Xoshiro256& rng) const {
+  const Node& n = node(id);
+  std::size_t row = 0;
+  for (NodeId p : n.parents) {
+    row = row * static_cast<std::size_t>(node(p).cardinality) +
+          static_cast<std::size_t>(assignment[static_cast<std::size_t>(p)]);
+  }
+  const double* probs =
+      n.cpt.data() + row * static_cast<std::size_t>(n.cardinality);
+  double ball = rng.uniform01();
+  for (int v = 0; v < n.cardinality - 1; ++v) {
+    ball -= probs[v];
+    if (ball < 0.0) return v;
+  }
+  return n.cardinality - 1;
+}
+
+std::vector<NodeId> BeliefNetwork::topological_order() const {
+  std::vector<int> indegree(nodes_.size(), 0);
+  const auto kids = children();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    indegree[i] = static_cast<int>(nodes_[i].parents.size());
+  }
+  std::queue<NodeId> ready;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (indegree[i] == 0) ready.push(static_cast<NodeId>(i));
+  }
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    const NodeId u = ready.front();
+    ready.pop();
+    order.push_back(u);
+    for (NodeId c : kids[static_cast<std::size_t>(u)]) {
+      if (--indegree[static_cast<std::size_t>(c)] == 0) ready.push(c);
+    }
+  }
+  if (order.size() != nodes_.size()) {
+    throw std::logic_error("BeliefNetwork: graph has a cycle");
+  }
+  return order;
+}
+
+std::vector<std::vector<NodeId>> BeliefNetwork::children() const {
+  std::vector<std::vector<NodeId>> kids(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (NodeId p : nodes_[i].parents) {
+      kids[static_cast<std::size_t>(p)].push_back(static_cast<NodeId>(i));
+    }
+  }
+  return kids;
+}
+
+int BeliefNetwork::edge_count() const noexcept {
+  int edges = 0;
+  for (const Node& n : nodes_) edges += static_cast<int>(n.parents.size());
+  return edges;
+}
+
+double BeliefNetwork::edges_per_node() const noexcept {
+  return nodes_.empty() ? 0.0
+                        : static_cast<double>(edge_count()) /
+                              static_cast<double>(nodes_.size());
+}
+
+double BeliefNetwork::average_cardinality() const noexcept {
+  if (nodes_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const Node& n : nodes_) sum += n.cardinality;
+  return sum / static_cast<double>(nodes_.size());
+}
+
+std::vector<int> BeliefNetwork::default_values() const {
+  std::vector<int> defaults(nodes_.size(), 0);
+  for (NodeId id : topological_order()) {
+    const Node& n = node(id);
+    std::size_t row = 0;
+    for (NodeId p : n.parents) {
+      row = row * static_cast<std::size_t>(node(p).cardinality) +
+            static_cast<std::size_t>(defaults[static_cast<std::size_t>(p)]);
+    }
+    const double* probs =
+        n.cpt.data() + row * static_cast<std::size_t>(n.cardinality);
+    defaults[static_cast<std::size_t>(id)] = static_cast<int>(
+        std::max_element(probs, probs + n.cardinality) - probs);
+  }
+  return defaults;
+}
+
+void BeliefNetwork::validate() const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    const std::size_t expected =
+        cpt_rows(static_cast<NodeId>(i)) *
+        static_cast<std::size_t>(n.cardinality);
+    if (n.cpt.size() != expected) {
+      throw std::logic_error("BeliefNetwork: node " + n.name +
+                             " has wrong CPT size");
+    }
+    for (std::size_t row = 0; row * n.cardinality < n.cpt.size(); ++row) {
+      double sum = 0.0;
+      for (int v = 0; v < n.cardinality; ++v) {
+        const double p =
+            n.cpt[row * static_cast<std::size_t>(n.cardinality) +
+                  static_cast<std::size_t>(v)];
+        if (p < 0.0 || p > 1.0) {
+          throw std::logic_error("BeliefNetwork: probability out of range");
+        }
+        sum += p;
+      }
+      if (std::fabs(sum - 1.0) > 1e-6) {
+        throw std::logic_error("BeliefNetwork: CPT row does not sum to 1");
+      }
+    }
+  }
+  (void)topological_order();  // Throws on cycles.
+}
+
+}  // namespace nscc::bayes

@@ -1,0 +1,81 @@
+// Bayesian belief networks (paper Section 3.2): a DAG of discrete-valued
+// event nodes, each with a conditional probability table (CPT) over its
+// parents' value combinations.  Supports ancestral (logic) sampling and the
+// structural statistics reported in Table 2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nscc::bayes {
+
+using NodeId = int;
+
+struct Node {
+  std::string name;
+  int cardinality = 2;          ///< Number of outcomes.
+  std::vector<NodeId> parents;  ///< In CPT index order.
+  /// CPT: rows are parent-value combinations (mixed-radix, first parent
+  /// most significant), each row holds `cardinality` probabilities.
+  std::vector<double> cpt;
+};
+
+class BeliefNetwork {
+ public:
+  /// Add a node; returns its id.  Parents are set separately.
+  NodeId add_node(std::string name, int cardinality);
+
+  /// Set the parent list (must reference existing nodes; the final graph
+  /// must be acyclic — validated by topological_order()).
+  void set_parents(NodeId id, std::vector<NodeId> parents);
+
+  /// Set the full CPT (size must be cpt_rows(id) * cardinality; rows must
+  /// each sum to ~1).
+  void set_cpt(NodeId id, std::vector<double> cpt);
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(nodes_.size());
+  }
+  [[nodiscard]] const Node& node(NodeId id) const { return nodes_.at(static_cast<std::size_t>(id)); }
+
+  [[nodiscard]] std::size_t cpt_rows(NodeId id) const;
+
+  /// Row index for the given parent values (same order as node.parents).
+  [[nodiscard]] std::size_t cpt_row(NodeId id,
+                                    const std::vector<int>& parent_values) const;
+
+  /// P(node = value | parents = parent_values).
+  [[nodiscard]] double conditional(NodeId id, int value,
+                                   const std::vector<int>& parent_values) const;
+
+  /// Sample a value for `id` given its parents' sampled values (from the
+  /// full assignment vector, indexed by node id).
+  [[nodiscard]] int sample_node(NodeId id, const std::vector<int>& assignment,
+                                util::Xoshiro256& rng) const;
+
+  /// Topological order; throws std::logic_error if the graph has a cycle.
+  [[nodiscard]] std::vector<NodeId> topological_order() const;
+
+  /// Children lists (derived from parents).
+  [[nodiscard]] std::vector<std::vector<NodeId>> children() const;
+
+  [[nodiscard]] int edge_count() const noexcept;
+  [[nodiscard]] double edges_per_node() const noexcept;
+  [[nodiscard]] double average_cardinality() const noexcept;
+
+  /// Per-node most likely value under an ancestral default sweep: defaults
+  /// are computed in topological order by following the CPT argmax given
+  /// the parents' defaults (the paper's default values for speculation).
+  [[nodiscard]] std::vector<int> default_values() const;
+
+  /// Validate CPT sizes and row normalisation; throws std::logic_error.
+  void validate() const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace nscc::bayes

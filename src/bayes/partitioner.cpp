@@ -1,0 +1,145 @@
+#include "bayes/partitioner.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace nscc::bayes {
+
+std::vector<int> Partition::part_sizes() const {
+  std::vector<int> sizes(static_cast<std::size_t>(parts), 0);
+  for (int p : assignment) ++sizes[static_cast<std::size_t>(p)];
+  return sizes;
+}
+
+int edge_cut(const BeliefNetwork& net, const Partition& p) {
+  int cut = 0;
+  for (NodeId v = 0; v < net.size(); ++v) {
+    for (NodeId u : net.node(v).parents) {
+      if (p.part_of(u) != p.part_of(v)) ++cut;
+    }
+  }
+  return cut;
+}
+
+namespace {
+
+std::vector<std::vector<NodeId>> undirected_adjacency(
+    const BeliefNetwork& net) {
+  std::vector<std::vector<NodeId>> adj(static_cast<std::size_t>(net.size()));
+  for (NodeId v = 0; v < net.size(); ++v) {
+    for (NodeId u : net.node(v).parents) {
+      adj[static_cast<std::size_t>(u)].push_back(v);
+      adj[static_cast<std::size_t>(v)].push_back(u);
+    }
+  }
+  return adj;
+}
+
+}  // namespace
+
+Partition partition_network(const BeliefNetwork& net,
+                            const PartitionConfig& config) {
+  const int n = net.size();
+  const auto adj = undirected_adjacency(net);
+  util::Xoshiro256 rng(config.seed);
+
+  Partition part;
+  part.parts = config.parts;
+  part.assignment.assign(static_cast<std::size_t>(n), config.parts - 1);
+
+  const int ideal = (n + config.parts - 1) / config.parts;
+  std::vector<bool> assigned(static_cast<std::size_t>(n), false);
+
+  // BFS region growing for parts 0 .. parts-2; the remainder forms the last.
+  for (int p = 0; p + 1 < config.parts; ++p) {
+    // Seed: unassigned node with the highest unassigned degree.
+    NodeId seed = -1;
+    int best_deg = -1;
+    for (NodeId v = 0; v < n; ++v) {
+      if (assigned[static_cast<std::size_t>(v)]) continue;
+      int deg = 0;
+      for (NodeId u : adj[static_cast<std::size_t>(v)]) {
+        if (!assigned[static_cast<std::size_t>(u)]) ++deg;
+      }
+      if (deg > best_deg) {
+        best_deg = deg;
+        seed = v;
+      }
+    }
+    if (seed < 0) break;
+
+    std::deque<NodeId> frontier{seed};
+    int grown = 0;
+    while (grown < ideal) {
+      NodeId v = -1;
+      if (!frontier.empty()) {
+        v = frontier.front();
+        frontier.pop_front();
+      } else {
+        // Disconnected remainder: pick any unassigned node.
+        for (NodeId w = 0; w < n; ++w) {
+          if (!assigned[static_cast<std::size_t>(w)]) {
+            v = w;
+            break;
+          }
+        }
+        if (v < 0) break;
+      }
+      if (assigned[static_cast<std::size_t>(v)]) continue;
+      assigned[static_cast<std::size_t>(v)] = true;
+      part.assignment[static_cast<std::size_t>(v)] = p;
+      ++grown;
+      for (NodeId u : adj[static_cast<std::size_t>(v)]) {
+        if (!assigned[static_cast<std::size_t>(u)]) frontier.push_back(u);
+      }
+    }
+  }
+
+  // Kernighan-Lin style greedy refinement: repeatedly move the
+  // best-gain boundary node subject to the balance constraint.
+  const int min_size = static_cast<int>(
+      std::floor((1.0 - config.balance_tolerance) * n / config.parts));
+  const int max_size = static_cast<int>(
+      std::ceil((1.0 + config.balance_tolerance) * n / config.parts));
+
+  auto sizes = part.part_sizes();
+  for (int pass = 0; pass < config.refinement_passes; ++pass) {
+    bool moved_any = false;
+    for (NodeId v = 0; v < n; ++v) {
+      const int home = part.part_of(v);
+      if (sizes[static_cast<std::size_t>(home)] <= min_size) continue;
+      // Count undirected edges from v into each part.
+      std::vector<int> links(static_cast<std::size_t>(config.parts), 0);
+      for (NodeId u : adj[static_cast<std::size_t>(v)]) {
+        ++links[static_cast<std::size_t>(part.part_of(u))];
+      }
+      int best_part = home;
+      int best_gain = 0;
+      for (int p = 0; p < config.parts; ++p) {
+        if (p == home || sizes[static_cast<std::size_t>(p)] >= max_size) {
+          continue;
+        }
+        const int gain = links[static_cast<std::size_t>(p)] -
+                         links[static_cast<std::size_t>(home)];
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_part = p;
+        }
+      }
+      if (best_part != home) {
+        part.assignment[static_cast<std::size_t>(v)] = best_part;
+        --sizes[static_cast<std::size_t>(home)];
+        ++sizes[static_cast<std::size_t>(best_part)];
+        moved_any = true;
+      }
+    }
+    if (!moved_any) break;
+  }
+
+  return part;
+}
+
+}  // namespace nscc::bayes

@@ -1,0 +1,43 @@
+// Graph partitioner standing in for METIS [11] (see DESIGN.md).
+//
+// K-way partitioning of a belief network's node set: greedy BFS region
+// growing for an initial balanced split, followed by Kernighan-Lin style
+// boundary refinement minimising the (directed-edge) cut while keeping part
+// sizes within a balance tolerance.  Table 2 reports the resulting 2-way
+// edge-cut per network.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bayes/network.hpp"
+
+namespace nscc::bayes {
+
+struct PartitionConfig {
+  int parts = 2;
+  /// Allowed deviation of a part from the ideal size (fraction).
+  double balance_tolerance = 0.10;
+  /// KL refinement sweeps.
+  int refinement_passes = 8;
+  std::uint64_t seed = 1;
+};
+
+struct Partition {
+  std::vector<int> assignment;  ///< Node id -> part index.
+  int parts = 0;
+
+  [[nodiscard]] int part_of(NodeId id) const {
+    return assignment.at(static_cast<std::size_t>(id));
+  }
+  [[nodiscard]] std::vector<int> part_sizes() const;
+};
+
+/// Number of DAG edges crossing part boundaries.
+[[nodiscard]] int edge_cut(const BeliefNetwork& net, const Partition& p);
+
+/// Partition the network's nodes into `config.parts` balanced parts.
+[[nodiscard]] Partition partition_network(const BeliefNetwork& net,
+                                          const PartitionConfig& config);
+
+}  // namespace nscc::bayes

@@ -1,0 +1,78 @@
+// Dynamic (runtime) setting of the tolerable staleness — the paper's
+// Section 6 future work: "we are experimenting with dynamic (runtime)
+// setting of tolerable age (staleness) levels when using Global_Read".
+//
+// A simple AIMD-flavoured controller per reading process: when recent
+// Global_Reads spend too large a fraction of the process's time blocked
+// (the network/peers cannot sustain the current freshness demand), the age
+// is raised; when reads never block and the observed staleness sits well
+// inside the budget (freshness is cheap right now), the age is lowered
+// toward better convergence quality.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "dsm/shared_space.hpp"
+#include "sim/time.hpp"
+
+namespace nscc::dsm {
+
+class AdaptiveAgeController {
+ public:
+  struct Config {
+    Iteration min_age = 0;
+    Iteration max_age = 50;
+    Iteration increase_step = 4;  ///< Additive increase when starved.
+    Iteration decrease_step = 1;  ///< Gentle decrease when comfortable.
+    /// Raise the age when blocked time exceeds this fraction of the
+    /// observation interval.
+    double block_fraction_hi = 0.05;
+    /// Lower the age when (a) nothing blocked and (b) observed staleness
+    /// stays below this fraction of the current age.
+    double staleness_slack = 0.5;
+    Iteration initial_age = 10;
+  };
+
+  AdaptiveAgeController();  // Defaults (defined below the class).
+  explicit AdaptiveAgeController(const Config& config)
+      : config_(config), age_(std::clamp(config.initial_age, config.min_age,
+                                         config.max_age)) {}
+
+  [[nodiscard]] Iteration age() const noexcept { return age_; }
+  [[nodiscard]] std::uint64_t increases() const noexcept { return increases_; }
+  [[nodiscard]] std::uint64_t decreases() const noexcept { return decreases_; }
+
+  /// Feed one observation interval (e.g. one generation): how long the
+  /// interval lasted, how much of it was spent blocked in Global_Read, and
+  /// the freshest-observed staleness (in iterations) during it.
+  void observe(sim::Time interval, sim::Time blocked, double max_staleness) {
+    if (interval <= 0) return;
+    const double frac =
+        static_cast<double>(blocked) / static_cast<double>(interval);
+    if (frac > config_.block_fraction_hi) {
+      const Iteration next = std::min(config_.max_age,
+                                      age_ + config_.increase_step);
+      if (next != age_) ++increases_;
+      age_ = next;
+    } else if (blocked == 0 &&
+               max_staleness <
+                   config_.staleness_slack * static_cast<double>(age_)) {
+      const Iteration next = std::max(config_.min_age,
+                                      age_ - config_.decrease_step);
+      if (next != age_) ++decreases_;
+      age_ = next;
+    }
+  }
+
+ private:
+  Config config_;
+  Iteration age_;
+  std::uint64_t increases_ = 0;
+  std::uint64_t decreases_ = 0;
+};
+
+inline AdaptiveAgeController::AdaptiveAgeController()
+    : AdaptiveAgeController(Config()) {}
+
+}  // namespace nscc::dsm

@@ -1,0 +1,223 @@
+#include "dsm/shared_space.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace nscc::dsm {
+
+const char* mode_name(Mode m) noexcept {
+  switch (m) {
+    case Mode::kSynchronous:
+      return "sync";
+    case Mode::kAsynchronous:
+      return "async";
+    case Mode::kPartialAsync:
+      return "partial";
+  }
+  return "?";
+}
+
+SharedSpace::SharedSpace(rt::Task& task, PropagationPolicy policy)
+    : task_(task), policy_(policy) {}
+
+void SharedSpace::declare_written(LocationId loc, std::vector<int> readers) {
+  if (written_.count(loc) != 0 || read_from_.count(loc) != 0) {
+    throw std::logic_error("SharedSpace: location declared twice");
+  }
+  WriterState ws;
+  ws.readers = std::move(readers);
+  for (int r : ws.readers) ws.per_reader.emplace(r, WriterState::PerReader{});
+  written_.emplace(loc, std::move(ws));
+  local_.emplace(loc, Value{});
+}
+
+void SharedSpace::declare_read(LocationId loc, int writer) {
+  if (written_.count(loc) != 0 || read_from_.count(loc) != 0) {
+    throw std::logic_error("SharedSpace: location declared twice");
+  }
+  read_from_.emplace(loc, writer);
+  local_.emplace(loc, Value{});
+}
+
+void SharedSpace::send_update(LocationId loc, int reader, Iteration iteration,
+                              const rt::Packet& value, bool charge_cpu) {
+  rt::Packet payload;
+  payload.pack_i32(loc);
+  payload.pack_i64(iteration);
+  payload.pack_packet(value);
+
+  std::function<void()> after_delivery;
+  if (policy_.coalesce) {
+    // The follow-up hop must not touch a SharedSpace that has already been
+    // destroyed (its task body may finish while updates are on the wire).
+    std::weak_ptr<SharedSpace*> weak = alive_;
+    after_delivery = [weak, loc, reader] {
+      if (auto self = weak.lock()) (*self)->on_update_delivered(loc, reader);
+    };
+  }
+  if (charge_cpu) {
+    // Process context: full send path (CPU overhead + transport window).
+    task_.send_observed(reader, rt::kDsmUpdateTag, std::move(payload),
+                        std::move(after_delivery));
+  } else {
+    // Engine context (DSM daemon forwarding a coalesced update): inject
+    // without charging or blocking the application task.
+    task_.vm().post(task_.id(), reader, rt::kDsmUpdateTag, std::move(payload),
+                    std::move(after_delivery));
+  }
+  ++stats_.updates_sent;
+}
+
+void SharedSpace::on_update_delivered(LocationId loc, int reader) {
+  auto& pr = written_.at(loc).per_reader.at(reader);
+  pr.in_flight = false;
+  if (pr.has_pending) {
+    pr.has_pending = false;
+    pr.in_flight = true;
+    send_update(loc, reader, pr.pending_iteration, pr.pending_value,
+                /*charge_cpu=*/false);
+  }
+}
+
+void SharedSpace::write(LocationId loc, Iteration iteration, rt::Packet value) {
+  auto it = written_.find(loc);
+  if (it == written_.end()) {
+    throw std::logic_error("SharedSpace: write to a location not declared_written");
+  }
+  ++stats_.writes;
+  // Any DSM entry point services pending read demands (user-level macros
+  // share the process with the "daemon").
+  drain_requests();
+
+  Value& mine = local_.at(loc);
+  mine.iteration = iteration;
+  mine.valid = true;
+  mine.data = value;
+
+  for (int reader : it->second.readers) {
+    if (reader == task_.id()) continue;  // The local store is the update.
+    auto& pr = it->second.per_reader.at(reader);
+    if (policy_.coalesce && pr.in_flight) {
+      if (pr.has_pending) ++stats_.updates_coalesced;
+      pr.has_pending = true;
+      pr.pending_iteration = iteration;
+      pr.pending_value = value;
+      continue;
+    }
+    if (policy_.coalesce) pr.in_flight = true;
+    send_update(loc, reader, iteration, value, /*charge_cpu=*/true);
+  }
+}
+
+void SharedSpace::apply_update(rt::Packet& payload) {
+  const LocationId loc = payload.unpack_i32();
+  const Iteration iteration = payload.unpack_i64();
+  rt::Packet data = payload.unpack_packet();
+
+  auto it = local_.find(loc);
+  if (it == local_.end() || read_from_.count(loc) == 0) {
+    throw std::logic_error(
+        "SharedSpace: update received for a location not declared_read");
+  }
+  if (observer_) {
+    data.rewind();
+    observer_(loc, iteration, data);
+    data.rewind();
+  }
+
+  Value& v = it->second;
+  if (iteration > v.iteration) {
+    v.iteration = iteration;
+    v.valid = true;
+    v.data = std::move(data);
+    ++stats_.updates_applied;
+  } else {
+    ++stats_.updates_stale_dropped;
+  }
+}
+
+void SharedSpace::serve_request(rt::Packet& payload, int from) {
+  const LocationId loc = payload.unpack_i32();
+  const Iteration need = payload.unpack_i64();
+  ++stats_.hints_received;
+  auto it = written_.find(loc);
+  if (it == written_.end()) return;  // Stale request for a location we lost.
+  const Value& mine = local_.at(loc);
+  if (mine.valid && mine.iteration >= need) {
+    // Demand-driven resend of the current copy (the normal write path will
+    // cover the demand otherwise, since writes propagate to every reader).
+    send_update(loc, from, mine.iteration, mine.data, /*charge_cpu=*/true);
+    ++stats_.request_replies;
+  }
+}
+
+void SharedSpace::drain_requests() {
+  while (auto msg = task_.try_recv(rt::kDsmRequestTag)) {
+    serve_request(msg->payload, msg->src);
+  }
+}
+
+void SharedSpace::poll() {
+  while (auto msg = task_.try_recv(rt::kDsmUpdateTag)) {
+    apply_update(msg->payload);
+  }
+  drain_requests();
+}
+
+const SharedSpace::Value& SharedSpace::read(LocationId loc) {
+  poll();
+  auto it = local_.find(loc);
+  if (it == local_.end()) {
+    throw std::logic_error("SharedSpace: read of an undeclared location");
+  }
+  it->second.data.rewind();
+  return it->second;
+}
+
+const SharedSpace::Value& SharedSpace::global_read(LocationId loc,
+                                                   Iteration curr_iter,
+                                                   Iteration age) {
+  auto it = local_.find(loc);
+  if (it == local_.end()) {
+    throw std::logic_error("SharedSpace: global_read of an undeclared location");
+  }
+  ++stats_.global_reads;
+  poll();
+
+  const Iteration need = curr_iter - age;
+  Value& v = it->second;
+  if (!v.valid || v.iteration < need) {
+    ++stats_.global_read_blocks;
+    if (policy_.read_impl == GlobalReadImpl::kRequest) {
+      // Actively demand a fresh-enough copy from the writer (also a hint
+      // that this reader is running behind the producer).
+      rt::Packet req;
+      req.pack_i32(loc);
+      req.pack_i64(need);
+      task_.send(read_from_.at(loc), rt::kDsmRequestTag, std::move(req));
+      ++stats_.requests_sent;
+    }
+    const sim::Time blocked_from = task_.now();
+    // Wait for DSM updates (to any location we read); each arrival may
+    // freshen our copy.  This is the paper's "just wait until the required
+    // update arrives" implementation.  A never-written location blocks
+    // until its first value arrives, whatever the age bound.
+    while (!v.valid || v.iteration < need) {
+      rt::Message msg = task_.recv(rt::kDsmUpdateTag);
+      apply_update(msg.payload);
+    }
+    stats_.global_read_block_time += task_.now() - blocked_from;
+  }
+  stats_.staleness_on_read.add(static_cast<double>(curr_iter - v.iteration));
+  v.data.rewind();
+  return v;
+}
+
+Iteration SharedSpace::local_iteration(LocationId loc) const {
+  auto it = local_.find(loc);
+  return it == local_.end() ? -1 : it->second.iteration;
+}
+
+}  // namespace nscc::dsm

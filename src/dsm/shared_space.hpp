@@ -1,0 +1,172 @@
+// Non-strict cache coherence: the shared-memory abstraction and the
+// Global_Read primitive (the paper's primary contribution, Sections 2, 4.1).
+//
+// Model (exactly the paper's): every shared location has a single writer
+// whose readers are known up front, so writes are implemented as direct
+// sends and reads as receives, layered over the PVM-like runtime.  Each
+// local copy carries the *iteration number* at which the writer generated
+// it.  The blocking primitive
+//
+//     Global_Read(locn, curr_iter, age)
+//
+// returns a value of locn generated no earlier than iteration
+// (curr_iter - age) of the producing process; if the local copy is older the
+// reading process blocks until a suitable update arrives (the paper's
+// "simple blocking implementation" that waits rather than requesting).
+// age = 0 removes all asynchrony tolerance; larger ages admit staler data
+// and act as receiver-driven flow control for the whole computation.
+//
+// Propagation is write-through to all registered readers.  An optional
+// sender-side coalescing policy keeps at most one update per
+// (location, reader) in flight and merges bursts of writes into the latest
+// value — the buffering freedom the paper attributes to asynchronous DSMs
+// (Section 1, Mermera discussion).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "rt/packet.hpp"
+#include "rt/vm.hpp"
+#include "sim/time.hpp"
+#include "util/stats.hpp"
+
+namespace nscc::dsm {
+
+using LocationId = std::int32_t;
+using Iteration = std::int64_t;
+
+/// How a program uses the shared space each iteration; apps map this to
+/// barrier()+fresh reads, plain reads, or global_read with an age bound.
+enum class Mode { kSynchronous, kAsynchronous, kPartialAsync };
+
+[[nodiscard]] const char* mode_name(Mode m) noexcept;
+
+/// How a blocked Global_Read obtains its value (paper Section 2): the
+/// simple implementation just waits for the writer's next propagation; the
+/// requesting implementation additionally sends the writer an explicit
+/// request, which doubles as a "reader is starved" hint the writer could
+/// use for scheduling priority.  The paper argues (and the A4 ablation
+/// shows) that waiting generates fewer messages.
+enum class GlobalReadImpl { kWait, kRequest };
+
+struct PropagationPolicy {
+  /// When true, at most one update per (location, reader) is in flight;
+  /// writes that arrive meanwhile replace the pending value (newest wins).
+  bool coalesce = false;
+  GlobalReadImpl read_impl = GlobalReadImpl::kWait;
+};
+
+struct DsmStats {
+  std::uint64_t writes = 0;
+  std::uint64_t updates_sent = 0;
+  std::uint64_t updates_coalesced = 0;  ///< Writes merged into a pending one.
+  std::uint64_t updates_applied = 0;
+  std::uint64_t updates_stale_dropped = 0;  ///< Arrived older than local copy.
+  std::uint64_t global_reads = 0;
+  std::uint64_t global_read_blocks = 0;
+  sim::Time global_read_block_time = 0;
+  std::uint64_t requests_sent = 0;      ///< kRequest impl: demands issued.
+  std::uint64_t hints_received = 0;     ///< Writer side: starved readers seen.
+  std::uint64_t request_replies = 0;    ///< Writer side: demand-driven resends.
+  util::RunningStats staleness_on_read;  ///< curr_iter - value iteration.
+};
+
+/// Per-task view of the shared space.  All tasks must make matching
+/// declarations (same writer/readers per location) before use.
+class SharedSpace {
+ public:
+  explicit SharedSpace(rt::Task& task, PropagationPolicy policy = {});
+
+  SharedSpace(const SharedSpace&) = delete;
+  SharedSpace& operator=(const SharedSpace&) = delete;
+
+  /// Declare a location this task writes, and who reads it.
+  void declare_written(LocationId loc, std::vector<int> readers);
+
+  /// Declare a location this task reads and which task writes it.
+  void declare_read(LocationId loc, int writer);
+
+  /// A local copy of a shared location.
+  struct Value {
+    Iteration iteration = -1;  ///< Writer iteration that generated it.
+    rt::Packet data;           ///< Opaque payload (rewound before return).
+    bool valid = false;        ///< False until the first update/write lands.
+  };
+
+  /// Writer side: store locally with the iteration stamp and propagate to
+  /// every registered reader (charging per-send software overhead, like the
+  /// paper's user-level macros doing direct sends).
+  void write(LocationId loc, Iteration iteration, rt::Packet value);
+
+  /// Plain read: drain any pending updates, then return the freshest local
+  /// copy, however stale (slow-memory semantics; the fully asynchronous
+  /// programs use this).
+  const Value& read(LocationId loc);
+
+  /// The Global_Read primitive.  Blocks until the local copy of `loc` is
+  /// valid AND was generated at iteration >= curr_iter - age (a location
+  /// never written blocks until its first value arrives, whatever the age).
+  const Value& global_read(LocationId loc, Iteration curr_iter, Iteration age);
+
+  /// Drain pending DSM update messages without blocking (asynchronous
+  /// incorporation "as and when they arrive").
+  void poll();
+
+  /// Observer invoked for EVERY arriving update (even ones older than the
+  /// local copy, which the cache itself drops).  Applications that need the
+  /// full update stream — e.g. the rollback-based logic sampler, which must
+  /// see corrections for past iterations — register here.  The packet's
+  /// read cursor is rewound before each call.
+  using UpdateObserver =
+      std::function<void(LocationId, Iteration, rt::Packet&)>;
+  void set_update_observer(UpdateObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  [[nodiscard]] const DsmStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] rt::Task& task() noexcept { return task_; }
+
+  /// Iteration stamp of the freshest local copy (-1 when none), without
+  /// draining pending messages.  Mostly for tests and diagnostics.
+  [[nodiscard]] Iteration local_iteration(LocationId loc) const;
+
+ private:
+  struct WriterState {
+    std::vector<int> readers;
+    // Per reader: is an update in flight, and the newest stashed value to
+    // forward once it lands (coalescing policy only).
+    struct PerReader {
+      bool in_flight = false;
+      bool has_pending = false;
+      Iteration pending_iteration = -1;
+      rt::Packet pending_value;
+    };
+    std::map<int, PerReader> per_reader;
+  };
+
+  void apply_update(rt::Packet& payload);
+  void serve_request(rt::Packet& payload, int from);
+  void drain_requests();
+  void send_update(LocationId loc, int reader, Iteration iteration,
+                   const rt::Packet& value, bool charge_cpu);
+  void on_update_delivered(LocationId loc, int reader);
+
+  rt::Task& task_;
+  PropagationPolicy policy_;
+  UpdateObserver observer_;
+  /// Liveness token: deferred-delivery callbacks hold a weak_ptr so they
+  /// become no-ops once this SharedSpace is destroyed (e.g. its task body
+  /// returned while updates were still on the wire).
+  std::shared_ptr<SharedSpace*> alive_ =
+      std::make_shared<SharedSpace*>(this);
+  std::map<LocationId, Value> local_;          // Locations we read or wrote.
+  std::map<LocationId, WriterState> written_;  // Locations we write.
+  std::map<LocationId, int> read_from_;        // Location -> writer task.
+  DsmStats stats_;
+};
+
+}  // namespace nscc::dsm

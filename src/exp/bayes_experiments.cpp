@@ -1,0 +1,171 @@
+#include "exp/bayes_experiments.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "bayes/partitioner.hpp"
+#include "sim/time.hpp"
+
+namespace nscc::exp {
+
+std::vector<NamedNetwork> table2_networks() {
+  std::vector<NamedNetwork> nets;
+  nets.push_back({"A", bayes::make_network_a()});
+  nets.push_back({"AA", bayes::make_network_aa()});
+  nets.push_back({"C", bayes::make_network_c()});
+  nets.push_back({"Hailfinder", bayes::make_hailfinder_like()});
+  return nets;
+}
+
+std::vector<Table2Row> measure_table2(int queries_per_net, std::uint64_t seed) {
+  std::vector<Table2Row> rows;
+  for (const auto& [name, net] : table2_networks()) {
+    Table2Row row;
+    row.name = name;
+    row.nodes = net.size();
+    row.edges_per_node = net.edges_per_node();
+    row.values_per_node = net.average_cardinality();
+    bayes::PartitionConfig pc;
+    pc.parts = 2;
+    row.edge_cut_2way = bayes::edge_cut(net, bayes::partition_network(net, pc));
+    bayes::InferenceConfig ic;
+    ic.seed = seed;
+    const auto queries = bayes::default_queries(net, queries_per_net, seed);
+    const auto result = bayes::run_logic_sampling(net, {}, queries, ic);
+    row.uniprocessor_time_s = sim::to_seconds(result.completion_time);
+    row.samples = result.samples_drawn;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+const BayesVariantResult& BayesCellResult::variant(
+    const std::string& name) const {
+  for (const auto& v : variants) {
+    if (v.name == name) return v;
+  }
+  throw std::out_of_range("BayesCellResult: unknown variant " + name);
+}
+
+double BayesCellResult::best_partial_over_best_competitor() const {
+  double best_partial = 0.0;
+  double best_other = 0.0;
+  for (const auto& v : variants) {
+    if (v.name.rfind("age", 0) == 0) {
+      best_partial = std::max(best_partial, v.speedup);
+    } else {
+      best_other = std::max(best_other, v.speedup);
+    }
+  }
+  return best_other > 0.0 ? best_partial / best_other : 0.0;
+}
+
+BayesCellResult run_bayes_cell(const NamedNetwork& network,
+                               const BayesCellConfig& config) {
+  BayesCellResult cell;
+  cell.network = network.name;
+
+  std::vector<std::string> names = {"serial", "sync", "async"};
+  for (long age : config.ages) names.push_back("age" + std::to_string(age));
+  std::vector<std::vector<double>> times(names.size());
+  std::vector<double> converged(names.size(), 0.0);
+  std::vector<double> rollbacks(names.size(), 0.0);
+  std::vector<double> resampled(names.size(), 0.0);
+  std::vector<double> warp(names.size(), 0.0);
+
+  for (int rep = 0; rep < config.reps; ++rep) {
+    const std::uint64_t seed =
+        config.seed + 1000ULL * static_cast<std::uint64_t>(rep);
+    const auto queries =
+        bayes::default_queries(network.net, config.queries_per_net, config.seed);
+
+    bayes::InferenceConfig serial_cfg;
+    serial_cfg.seed = seed;
+    const auto serial =
+        bayes::run_logic_sampling(network.net, {}, queries, serial_cfg);
+    times[0].push_back(sim::to_seconds(serial.completion_time));
+    converged[0] += serial.converged ? 1.0 : 0.0;
+
+    bayes::ParallelInferenceConfig par;
+    par.parts = config.processors;
+    par.seed = seed;
+    // Enough iterations for the CI to be met with margin even under the
+    // speculative modes' validation lag.
+    par.iterations = serial.samples_drawn * 13 / 10;
+
+    for (std::size_t i = 1; i < names.size(); ++i) {
+      if (names[i] == "sync") {
+        par.mode = dsm::Mode::kSynchronous;
+        par.age = 0;
+      } else if (names[i] == "async") {
+        par.mode = dsm::Mode::kAsynchronous;
+        par.age = 0;
+      } else {
+        par.mode = dsm::Mode::kPartialAsync;
+        par.age = std::stol(names[i].substr(3));
+      }
+      const auto r = bayes::run_parallel_logic_sampling(
+          network.net, {}, queries, par, config.machine,
+          config.loader_mbps * 1e6);
+      times[i].push_back(sim::to_seconds(r.completion_time));
+      converged[i] += r.converged ? 1.0 : 0.0;
+      rollbacks[i] += static_cast<double>(r.rollbacks);
+      resampled[i] += static_cast<double>(r.nodes_resampled);
+      warp[i] += r.mean_warp;
+    }
+  }
+
+  const auto n = static_cast<double>(config.reps);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    BayesVariantResult v;
+    v.name = names[i];
+    for (int rep = 0; rep < config.reps; ++rep) {
+      v.speedup += times[0][static_cast<std::size_t>(rep)] /
+                   times[i][static_cast<std::size_t>(rep)];
+      v.mean_time_s += times[i][static_cast<std::size_t>(rep)];
+      v.sum_time_s += times[i][static_cast<std::size_t>(rep)];
+    }
+    v.speedup /= n;
+    v.mean_time_s /= n;
+    v.converged_fraction = converged[i] / n;
+    v.rollbacks = rollbacks[i] / n;
+    v.nodes_resampled = resampled[i] / n;
+    v.mean_warp = warp[i] / n;
+    cell.variants.push_back(v);
+  }
+  return cell;
+}
+
+std::vector<BayesVariantResult> average_bayes_cells(
+    const std::vector<BayesCellResult>& cells) {
+  if (cells.empty()) return {};
+  std::vector<BayesVariantResult> avg;
+  double serial_sum = 0.0;
+  for (const auto& cell : cells) serial_sum += cell.variant("serial").sum_time_s;
+  for (const auto& proto : cells.front().variants) {
+    BayesVariantResult v;
+    v.name = proto.name;
+    double time_sum = 0.0;
+    double n = 0.0;
+    for (const auto& cell : cells) {
+      const auto& cv = cell.variant(proto.name);
+      time_sum += cv.sum_time_s;
+      v.converged_fraction += cv.converged_fraction;
+      v.rollbacks += cv.rollbacks;
+      v.nodes_resampled += cv.nodes_resampled;
+      v.mean_warp += cv.mean_warp;
+      n += 1.0;
+    }
+    v.speedup = time_sum > 0.0 ? serial_sum / time_sum : 0.0;
+    v.sum_time_s = time_sum;
+    v.mean_time_s = time_sum / n;
+    v.converged_fraction /= n;
+    v.rollbacks /= n;
+    v.nodes_resampled /= n;
+    v.mean_warp /= n;
+    avg.push_back(v);
+  }
+  return avg;
+}
+
+}  // namespace nscc::exp

@@ -1,0 +1,75 @@
+// Experiment drivers for the Bayesian-network results (paper Table 2 and
+// Figure 3).  Two-processor configurations, as in the paper (the small
+// networks do not exhibit enough parallelism for more).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bayes/generators.hpp"
+#include "bayes/logic_sampling.hpp"
+#include "bayes/parallel_sampling.hpp"
+
+namespace nscc::exp {
+
+/// The paper's four-network test set, in Table 2 order.
+struct NamedNetwork {
+  std::string name;
+  bayes::BeliefNetwork net;
+};
+std::vector<NamedNetwork> table2_networks();
+
+/// One row of Table 2, measured on our implementation.
+struct Table2Row {
+  std::string name;
+  int nodes = 0;
+  double edges_per_node = 0.0;
+  double values_per_node = 0.0;
+  int edge_cut_2way = 0;
+  double uniprocessor_time_s = 0.0;
+  std::uint64_t samples = 0;
+};
+std::vector<Table2Row> measure_table2(int queries_per_net, std::uint64_t seed);
+
+struct BayesVariantResult {
+  std::string name;  ///< "serial", "sync", "async", "age0", ...
+  double speedup = 0.0;
+  double mean_time_s = 0.0;
+  double sum_time_s = 0.0;
+  double converged_fraction = 0.0;
+  double rollbacks = 0.0;
+  double nodes_resampled = 0.0;
+  double mean_warp = 0.0;
+};
+
+struct BayesCellConfig {
+  int processors = 2;
+  int reps = 3;  ///< Paper: 10.
+  std::vector<long> ages = {0, 5, 10, 20, 30};
+  int queries_per_net = 3;
+  double loader_mbps = 0.0;
+  std::uint64_t seed = 1;
+  rt::MachineConfig machine;
+};
+
+struct BayesCellResult {
+  std::string network;
+  std::vector<BayesVariantResult> variants;
+
+  [[nodiscard]] const BayesVariantResult& variant(
+      const std::string& name) const;
+  [[nodiscard]] double best_partial_over_best_competitor() const;
+};
+
+/// Run all variants for one network.
+BayesCellResult run_bayes_cell(const NamedNetwork& network,
+                               const BayesCellConfig& config);
+
+/// Paper-style average over networks: summed serial time over summed
+/// variant time.
+std::vector<BayesVariantResult> average_bayes_cells(
+    const std::vector<BayesCellResult>& cells);
+
+}  // namespace nscc::exp

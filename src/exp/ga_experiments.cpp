@@ -1,0 +1,219 @@
+#include "exp/ga_experiments.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "ga/sequential.hpp"
+#include "sim/time.hpp"
+
+namespace nscc::exp {
+
+namespace {
+
+struct RepOutcome {
+  double time_s = 0.0;
+  double final_average = 0.0;
+  double final_best = 0.0;
+  int generations = 0;
+  bool quality_ok = true;
+  bool optimum_found = false;
+  double mean_warp = 0.0;
+  double bus_utilization = 0.0;
+};
+
+}  // namespace
+
+const GaVariantResult& GaCellResult::variant(const std::string& name) const {
+  for (const auto& v : variants) {
+    if (v.name == name) return v;
+  }
+  throw std::out_of_range("GaCellResult: unknown variant " + name);
+}
+
+double GaCellResult::best_partial_over_best_competitor() const {
+  double best_partial = 0.0;
+  double best_other = 0.0;
+  for (const auto& v : variants) {
+    if (v.name.rfind("age", 0) == 0) {
+      best_partial = std::max(best_partial, v.speedup);
+    } else {
+      best_other = std::max(best_other, v.speedup);
+    }
+  }
+  return best_other > 0.0 ? best_partial / best_other : 0.0;
+}
+
+GaCellResult run_ga_cell(const GaCellConfig& config) {
+  const auto& fn = ga::test_function(config.function_id);
+  const double opt_tol = ga::optimum_tolerance(fn);
+
+  // Accumulators per variant name, in a stable order.
+  std::vector<std::string> names = {"serial", "sync", "async"};
+  for (long age : config.ages) names.push_back("age" + std::to_string(age));
+  std::map<std::string, std::vector<RepOutcome>> outcomes;
+  std::vector<double> serial_times;
+
+  for (int rep = 0; rep < config.reps; ++rep) {
+    const std::uint64_t seed =
+        config.seed + 1000ULL * static_cast<std::uint64_t>(rep);
+
+    // ---- serial baseline --------------------------------------------------
+    ga::SequentialGaConfig serial_cfg;
+    serial_cfg.function_id = config.function_id;
+    serial_cfg.pop_size = config.params.pop_size * config.processors;
+    serial_cfg.generations = config.generations;
+    serial_cfg.seed = seed;
+    serial_cfg.params = config.params;
+    serial_cfg.compute = config.compute;
+    const auto serial = ga::run_sequential_ga(serial_cfg);
+    serial_times.push_back(sim::to_seconds(serial.completion_time));
+    {
+      RepOutcome o;
+      o.time_s = sim::to_seconds(serial.completion_time);
+      o.final_average = serial.final_average;
+      o.final_best = serial.best_fitness;
+      o.generations = config.generations;
+      o.optimum_found = serial.best_fitness <= fn.global_min + opt_tol;
+      outcomes["serial"].push_back(o);
+    }
+
+    // ---- synchronous -------------------------------------------------------
+    ga::IslandConfig island;
+    island.function_id = config.function_id;
+    island.ndemes = config.processors;
+    island.generations = config.generations;
+    island.seed = seed;
+    island.params = config.params;
+    island.compute = config.compute;
+    island.mode = dsm::Mode::kSynchronous;
+    const auto sync =
+        ga::run_island_ga(island, config.machine, config.loader_mbps * 1e6);
+    const double target = sync.final_average;
+    const double initial_avg = serial.average.points.front().second;
+    const double slack =
+        config.quality_slack * std::fabs(initial_avg - target);
+    {
+      RepOutcome o;
+      o.time_s = sim::to_seconds(sync.completion_time);
+      o.final_average = sync.final_average;
+      o.final_best = sync.best_fitness;
+      o.generations = config.generations;
+      o.optimum_found = sync.best_fitness <= fn.global_min + opt_tol;
+      o.mean_warp = sync.mean_warp;
+      o.bus_utilization = sync.bus_utilization;
+      outcomes["sync"].push_back(o);
+    }
+
+    // ---- async and Global_Read variants ------------------------------------
+    auto run_variant = [&](const std::string& name, dsm::Mode mode, long age) {
+      ga::IslandConfig cfg = island;
+      cfg.mode = mode;
+      cfg.age = age;
+      // Staleness tolerance is what licenses the DSM to coalesce pending
+      // migrant updates (paper Sections 1-2); the uncontrolled asynchronous
+      // program does direct per-generation sends, like the synchronous one.
+      cfg.propagation.coalesce = mode == dsm::Mode::kPartialAsync;
+      int gens = config.generations;
+      ga::IslandResult result;
+      bool ok = false;
+      for (;;) {
+        cfg.generations = gens;
+        result = ga::run_island_ga(cfg, config.machine,
+                                   config.loader_mbps * 1e6);
+        ok = result.final_average <= target + slack;
+        if (ok || gens >= 3 * config.generations) break;
+        gens = std::min(3 * config.generations, gens * 3 / 2);
+      }
+      RepOutcome o;
+      o.time_s = sim::to_seconds(result.completion_time);
+      o.final_average = result.final_average;
+      o.final_best = result.best_fitness;
+      o.generations = gens;
+      o.quality_ok = ok;
+      o.optimum_found = result.best_fitness <= fn.global_min + opt_tol;
+      o.mean_warp = result.mean_warp;
+      o.bus_utilization = result.bus_utilization;
+      outcomes[name].push_back(o);
+    };
+
+    run_variant("async", dsm::Mode::kAsynchronous, 0);
+    for (long age : config.ages) {
+      run_variant("age" + std::to_string(age), dsm::Mode::kPartialAsync, age);
+    }
+  }
+
+  // ---- aggregate -------------------------------------------------------------
+  GaCellResult cell;
+  cell.config = config;
+  for (const auto& name : names) {
+    const auto& reps = outcomes.at(name);
+    GaVariantResult v;
+    v.name = name;
+    for (std::size_t r = 0; r < reps.size(); ++r) {
+      const RepOutcome& o = reps[r];
+      v.speedup += serial_times[r] / o.time_s;
+      v.mean_time_s += o.time_s;
+      v.sum_time_s += o.time_s;
+      v.final_average += o.final_average;
+      v.final_best += o.final_best;
+      v.mean_generations += o.generations;
+      v.quality_ok_fraction += o.quality_ok ? 1.0 : 0.0;
+      v.optimum_found_fraction += o.optimum_found ? 1.0 : 0.0;
+      v.mean_warp += o.mean_warp;
+      v.bus_utilization += o.bus_utilization;
+    }
+    const auto n = static_cast<double>(reps.size());
+    v.speedup /= n;
+    v.mean_time_s /= n;
+    v.final_average /= n;
+    v.final_best /= n;
+    v.mean_generations /= n;
+    v.quality_ok_fraction /= n;
+    v.optimum_found_fraction /= n;
+    v.mean_warp /= n;
+    v.bus_utilization /= n;
+    cell.variants.push_back(v);
+  }
+  return cell;
+}
+
+std::vector<GaVariantResult> average_cells(
+    const std::vector<GaCellResult>& cells) {
+  if (cells.empty()) return {};
+  std::vector<GaVariantResult> avg;
+  const auto& names = cells.front().variants;
+  double serial_sum = 0.0;
+  for (const auto& cell : cells) serial_sum += cell.variant("serial").sum_time_s;
+
+  for (const auto& proto : names) {
+    GaVariantResult v;
+    v.name = proto.name;
+    double time_sum = 0.0;
+    double n = 0.0;
+    for (const auto& cell : cells) {
+      const auto& cv = cell.variant(proto.name);
+      time_sum += cv.sum_time_s;
+      v.final_average += cv.final_average;
+      v.quality_ok_fraction += cv.quality_ok_fraction;
+      v.optimum_found_fraction += cv.optimum_found_fraction;
+      v.bus_utilization += cv.bus_utilization;
+      v.mean_warp += cv.mean_warp;
+      n += 1.0;
+    }
+    // The paper's average metric: summed serial time over summed variant time.
+    v.speedup = time_sum > 0.0 ? serial_sum / time_sum : 0.0;
+    v.sum_time_s = time_sum;
+    v.mean_time_s = time_sum / n;
+    v.final_average /= n;
+    v.quality_ok_fraction /= n;
+    v.optimum_found_fraction /= n;
+    v.bus_utilization /= n;
+    v.mean_warp /= n;
+    avg.push_back(v);
+  }
+  return avg;
+}
+
+}  // namespace nscc::exp

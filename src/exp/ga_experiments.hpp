@@ -1,0 +1,75 @@
+// Experiment drivers for the GA figures (paper Figures 2 and 4).
+//
+// Protocol (paper Section 5.1.1):
+//  * The serial program (with the fitness cache [19]) and the synchronous
+//    program run a fixed generation budget G; the sync run's final average
+//    population fitness is the convergence target.
+//  * The asynchronous and partially asynchronous programs run "enough
+//    generations so that the subpopulation converged further (better) than
+//    the synchronous version": we run G generations and, when the final
+//    average misses the target (plus a small slack), grow the budget by
+//    1.5x up to 3G ("convergence beyond the required point was ensured for
+//    every trial").
+//  * Speedups are serial completion time over variant completion time;
+//    results are averaged over `reps` differently-seeded repetitions, and
+//    the cross-benchmark average follows the paper: ratio of summed serial
+//    times to summed variant times.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ga/island.hpp"
+#include "rt/vm.hpp"
+
+namespace nscc::exp {
+
+struct GaVariantResult {
+  std::string name;          ///< "serial", "sync", "async", "age0", ...
+  double speedup = 0.0;      ///< Mean over reps of serial/variant.
+  double mean_time_s = 0.0;  ///< Mean completion (virtual seconds).
+  double sum_time_s = 0.0;   ///< Summed over reps (for paper-style averages).
+  double final_average = 0.0;
+  double final_best = 0.0;
+  double mean_generations = 0.0;  ///< Per deme, after quality inflation.
+  double quality_ok_fraction = 0.0;
+  double optimum_found_fraction = 0.0;  ///< Runs reaching the global optimum.
+  double mean_warp = 0.0;
+  double bus_utilization = 0.0;
+};
+
+struct GaCellConfig {
+  int function_id = 1;
+  int processors = 4;
+  int generations = 300;  ///< Sync/serial budget (paper: 1000).
+  int reps = 3;           ///< Paper: 25.
+  std::vector<long> ages = {0, 5, 10, 20, 30};
+  double quality_slack = 0.02;  ///< Fraction of achieved improvement.
+  double loader_mbps = 0.0;     ///< Background load (Figure 4).
+  std::uint64_t seed = 1;
+  ga::GaParams params;
+  ga::GaComputeModel compute;
+  rt::MachineConfig machine;
+};
+
+struct GaCellResult {
+  GaCellConfig config;
+  std::vector<GaVariantResult> variants;  ///< serial, sync, async, ageX...
+
+  [[nodiscard]] const GaVariantResult& variant(const std::string& name) const;
+  /// Best Global_Read variant vs best of serial/sync/async (the paper's
+  /// white bar); > 1 means the partially asynchronous program wins.
+  [[nodiscard]] double best_partial_over_best_competitor() const;
+};
+
+/// Run every variant for one (function, processors) cell.
+GaCellResult run_ga_cell(const GaCellConfig& config);
+
+/// Paper-style cross-benchmark average: ratio of summed serial times to
+/// summed variant times, per variant name.  All cells must share the same
+/// variant list.
+std::vector<GaVariantResult> average_cells(
+    const std::vector<GaCellResult>& cells);
+
+}  // namespace nscc::exp

@@ -1,0 +1,79 @@
+// Binary-coded chromosomes and their decoding/serialisation.
+//
+// Each variable occupies bits_per_var bits; decoding maps the unsigned
+// integer linearly onto [lo, hi] as in DeJong's experiments.  Migrant
+// serialisation is compact (raw genome bytes + float32 fitness) to match
+// the small PVM messages of the paper's user-level implementation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ga/functions.hpp"
+#include "rt/packet.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace nscc::ga {
+
+struct Individual {
+  util::BitVec genome;
+  double fitness = 0.0;
+  bool evaluated = false;
+};
+
+/// Decode a genome into real variables for `fn`.
+[[nodiscard]] inline std::vector<double> decode(const util::BitVec& genome,
+                                                const TestFunction& fn) {
+  std::vector<double> x(static_cast<std::size_t>(fn.nvars));
+  const double denom =
+      static_cast<double>((1ULL << fn.bits_per_var) - 1ULL);
+  for (int i = 0; i < fn.nvars; ++i) {
+    const std::uint64_t raw =
+        genome.extract(static_cast<std::size_t>(i * fn.bits_per_var),
+                       static_cast<std::size_t>(fn.bits_per_var));
+    x[static_cast<std::size_t>(i)] =
+        fn.lo + (fn.hi - fn.lo) * static_cast<double>(raw) / denom;
+  }
+  return x;
+}
+
+/// Serialized size of one migrant for `fn`: byte-packed genome plus the
+/// fitness as a double (the PVM-era wire format of a bitstring + score).
+[[nodiscard]] inline std::uint32_t migrant_bytes(const TestFunction& fn) {
+  return static_cast<std::uint32_t>((fn.genome_bits() + 7) / 8 +
+                                    sizeof(double));
+}
+
+/// Append an individual's wire form to `p`.
+inline void pack_individual(rt::Packet& p, const Individual& ind,
+                            const TestFunction& fn) {
+  const int nbytes = (fn.genome_bits() + 7) / 8;
+  for (int b = 0; b < nbytes; ++b) {
+    p.pack_u8(static_cast<std::uint8_t>(
+        ind.genome.extract(static_cast<std::size_t>(b) * 8,
+                           static_cast<std::size_t>(
+                               std::min(8, fn.genome_bits() - b * 8)))));
+  }
+  p.pack_double(ind.fitness);
+}
+
+/// Inverse of pack_individual.
+[[nodiscard]] inline Individual unpack_individual(rt::Packet& p,
+                                                  const TestFunction& fn) {
+  Individual ind;
+  ind.genome = util::BitVec(static_cast<std::size_t>(fn.genome_bits()));
+  const int nbytes = (fn.genome_bits() + 7) / 8;
+  for (int b = 0; b < nbytes; ++b) {
+    const std::uint8_t byte = p.unpack_u8();
+    const int nbits = std::min(8, fn.genome_bits() - b * 8);
+    for (int k = 0; k < nbits; ++k) {
+      ind.genome.set(static_cast<std::size_t>(b * 8 + k), (byte >> k) & 1);
+    }
+  }
+  ind.fitness = p.unpack_double();
+  ind.evaluated = true;
+  return ind;
+}
+
+}  // namespace nscc::ga

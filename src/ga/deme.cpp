@@ -1,0 +1,193 @@
+#include "ga/deme.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace nscc::ga {
+
+Deme::Deme(const TestFunction& fn, GaParams params, util::Xoshiro256 rng,
+           FitnessCache* cache)
+    : fn_(fn), params_(params), rng_(rng), cache_(cache) {
+  assert(params_.pop_size >= 2);
+  assert(params_.scaling_window >= 1);
+}
+
+EvalCount Deme::evaluate(Individual& ind) {
+  EvalCount count;
+  if (ind.evaluated) return count;
+  double fitness = 0.0;
+  if (cache_ != nullptr && cache_->lookup(ind.genome, fitness)) {
+    ++count.cache_hits;
+  } else {
+    fitness = fn_.eval(decode(ind.genome, fn_), rng_);
+    ++count.evaluations;
+    if (cache_ != nullptr) cache_->insert(ind.genome, fitness);
+  }
+  ind.fitness = fitness;
+  ind.evaluated = true;
+  return count;
+}
+
+EvalCount Deme::initialize() {
+  population_.assign(static_cast<std::size_t>(params_.pop_size), Individual{});
+  EvalCount count;
+  for (Individual& ind : population_) {
+    ind.genome = util::BitVec(static_cast<std::size_t>(fn_.genome_bits()));
+    ind.genome.randomize(rng_);
+    ind.evaluated = false;
+    count += evaluate(ind);
+  }
+  worst_window_.clear();
+  worst_window_.push_back(worst_fitness());
+  generation_ = 0;
+  return count;
+}
+
+std::vector<int> Deme::ranked() const {
+  std::vector<int> idx(population_.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(), [this](int a, int b) {
+    return population_[static_cast<std::size_t>(a)].fitness <
+           population_[static_cast<std::size_t>(b)].fitness;
+  });
+  return idx;
+}
+
+const Individual& Deme::best() const {
+  assert(!population_.empty());
+  return *std::min_element(population_.begin(), population_.end(),
+                           [](const Individual& a, const Individual& b) {
+                             return a.fitness < b.fitness;
+                           });
+}
+
+double Deme::worst_fitness() const {
+  assert(!population_.empty());
+  return std::max_element(population_.begin(), population_.end(),
+                          [](const Individual& a, const Individual& b) {
+                            return a.fitness < b.fitness;
+                          })
+      ->fitness;
+}
+
+double Deme::average_fitness() const {
+  double sum = 0.0;
+  for (const Individual& ind : population_) sum += ind.fitness;
+  return sum / static_cast<double>(population_.size());
+}
+
+std::vector<Individual> Deme::best_k(int k) const {
+  const auto idx = ranked();
+  std::vector<Individual> out;
+  const int n = std::min<int>(k, static_cast<int>(idx.size()));
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(population_[static_cast<std::size_t>(idx[static_cast<std::size_t>(i)])]);
+  }
+  return out;
+}
+
+void Deme::incorporate(const std::vector<Individual>& migrants,
+                       int replace_count) {
+  if (migrants.empty() || replace_count <= 0) return;
+  // Best `replace_count` of the incoming pool...
+  std::vector<const Individual*> pool;
+  pool.reserve(migrants.size());
+  for (const Individual& m : migrants) pool.push_back(&m);
+  std::sort(pool.begin(), pool.end(),
+            [](const Individual* a, const Individual* b) {
+              return a->fitness < b->fitness;
+            });
+  const int k = std::min<int>(
+      {replace_count, static_cast<int>(pool.size()),
+       static_cast<int>(population_.size())});
+  // ...replace the worst k of the population.
+  auto idx = ranked();
+  for (int i = 0; i < k; ++i) {
+    const int victim =
+        idx[static_cast<std::size_t>(static_cast<int>(idx.size()) - 1 - i)];
+    population_[static_cast<std::size_t>(victim)] = *pool[static_cast<std::size_t>(i)];
+  }
+}
+
+EvalCount Deme::step() {
+  assert(!population_.empty() && "initialize() must be called first");
+  EvalCount count;
+
+  // Window scaling: fitness' = (worst over last W generations) - fitness.
+  const double window_worst =
+      *std::max_element(worst_window_.begin(), worst_window_.end());
+  std::vector<double> wheel(population_.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < population_.size(); ++i) {
+    wheel[i] = std::max(0.0, window_worst - population_[i].fitness);
+    total += wheel[i];
+  }
+
+  auto select = [&]() -> const Individual& {
+    if (total <= 0.0) {
+      // Degenerate scaling (all equal): uniform choice.
+      return population_[rng_.below(population_.size())];
+    }
+    double ball = rng_.uniform01() * total;
+    for (std::size_t i = 0; i < wheel.size(); ++i) {
+      ball -= wheel[i];
+      if (ball <= 0.0) return population_[i];
+    }
+    return population_.back();
+  };
+
+  const Individual elite = best();
+
+  std::vector<Individual> children;
+  children.reserve(population_.size());
+  const std::size_t nbits = static_cast<std::size_t>(fn_.genome_bits());
+  while (children.size() < population_.size()) {
+    Individual a = select();
+    Individual b = select();
+    if (rng_.bernoulli(params_.crossover_rate)) {
+      const std::size_t point = 1 + rng_.below(nbits - 1);
+      util::BitVec ca;
+      util::BitVec cb;
+      util::BitVec::crossover(a.genome, b.genome, point, ca, cb);
+      a.genome = std::move(ca);
+      b.genome = std::move(cb);
+      a.evaluated = false;
+      b.evaluated = false;
+    }
+    for (Individual* child : {&a, &b}) {
+      for (std::size_t bit = 0; bit < nbits; ++bit) {
+        if (rng_.bernoulli(params_.mutation_rate)) {
+          child->genome.flip(bit);
+          child->evaluated = false;
+        }
+      }
+      if (children.size() < population_.size()) {
+        children.push_back(std::move(*child));
+      }
+    }
+  }
+
+  for (Individual& child : children) count += evaluate(child);
+
+  if (params_.elitist) {
+    // The best of the previous generation survives, replacing the worst child.
+    auto worst_it = std::max_element(children.begin(), children.end(),
+                                     [](const Individual& a, const Individual& b) {
+                                       return a.fitness < b.fitness;
+                                     });
+    if (worst_it->fitness > elite.fitness) *worst_it = elite;
+  }
+
+  population_ = std::move(children);
+  ++generation_;
+
+  worst_window_.push_back(worst_fitness());
+  while (static_cast<int>(worst_window_.size()) > params_.scaling_window) {
+    worst_window_.pop_front();
+  }
+  return count;
+}
+
+}  // namespace nscc::ga

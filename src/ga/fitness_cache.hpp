@@ -1,0 +1,78 @@
+// Software fitness cache (the paper's sequential-GA optimisation [19]).
+//
+// With generation gap G = 1, elitism, crossover rate 0.6 and a very low
+// mutation rate, many offspring are bit-identical to previously evaluated
+// individuals; caching their fitness avoids recomputation.  The cache is
+// exact: entries are verified by full genome comparison, not just hash.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace nscc::ga {
+
+class FitnessCache {
+ public:
+  explicit FitnessCache(std::size_t max_entries = 1 << 18)
+      : max_entries_(max_entries) {}
+
+  /// Returns true and fills `fitness` on a hit.
+  bool lookup(const util::BitVec& genome, double& fitness) {
+    auto it = map_.find(genome.hash());
+    if (it == map_.end()) {
+      ++misses_;
+      return false;
+    }
+    for (const Entry& e : it->second) {
+      if (e.genome == genome) {
+        fitness = e.fitness;
+        ++hits_;
+        return true;
+      }
+    }
+    ++misses_;
+    return false;
+  }
+
+  void insert(const util::BitVec& genome, double fitness) {
+    if (entries_ >= max_entries_) return;  // Bounded memory; stop filling.
+    auto& bucket = map_[genome.hash()];
+    for (const Entry& e : bucket) {
+      if (e.genome == genome) return;
+    }
+    bucket.push_back(Entry{genome, fitness});
+    ++entries_;
+  }
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_; }
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits_) / static_cast<double>(total);
+  }
+
+  void clear() {
+    map_.clear();
+    entries_ = 0;
+  }
+
+ private:
+  struct Entry {
+    util::BitVec genome;
+    double fitness;
+  };
+
+  std::unordered_map<std::uint64_t, std::vector<Entry>> map_;
+  std::size_t entries_ = 0;
+  std::size_t max_entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace nscc::ga

@@ -1,0 +1,45 @@
+// The eight-function GA test bed (paper Table 1): DeJong's five classic
+// functions [5] plus Rastrigin, Schwefel, and Griewank from Muehlenbein et
+// al. [13].  All are minimisation problems over box-constrained reals,
+// binary-encoded per variable as in DeJong's work.
+//
+// Each function also carries a virtual per-evaluation compute cost,
+// calibrated to a 77 MHz-class node so that the simulated
+// communication-to-computation ratio on a 10 Mbps Ethernet matches the
+// paper's regime (see DESIGN.md "Fidelity notes").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace nscc::ga {
+
+struct TestFunction {
+  int id = 0;                ///< 1-based index as in Table 1.
+  std::string name;
+  int nvars = 0;
+  int bits_per_var = 0;
+  double lo = 0.0;           ///< Lower variable limit.
+  double hi = 0.0;           ///< Upper variable limit.
+  double global_min = 0.0;   ///< Published min f(x) (approximate for noisy f4).
+  bool noisy = false;        ///< f4 adds Gauss(0,1) per evaluation.
+  /// Evaluate at x; `rng` is used only by noisy functions.
+  std::function<double(const std::vector<double>&, util::Xoshiro256&)> eval;
+  /// Virtual CPU cost charged per evaluation in the simulator.
+  sim::Time eval_cost = 0;
+
+  [[nodiscard]] int genome_bits() const noexcept { return nvars * bits_per_var; }
+};
+
+/// The eight functions of Table 1, in order (index 0 is function 1).
+const std::vector<TestFunction>& dejong_testbed();
+
+/// Lookup by 1-based id; throws std::out_of_range for ids outside 1..8.
+const TestFunction& test_function(int id);
+
+}  // namespace nscc::ga

@@ -1,0 +1,80 @@
+#include "ga/sequential.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace nscc::ga {
+
+sim::Time GaTrajectory::time_to_reach(double target) const {
+  for (const auto& [t, best] : points) {
+    if (best <= target) return t;
+  }
+  return -1;
+}
+
+double GaTrajectory::final_best() const {
+  return points.empty() ? std::numeric_limits<double>::infinity()
+                        : points.back().second;
+}
+
+double optimum_tolerance(const TestFunction& fn) {
+  return 1e-3 + 1e-3 * std::fabs(fn.global_min);
+}
+
+SequentialGaResult run_sequential_ga(const SequentialGaConfig& config) {
+  const TestFunction& fn = test_function(config.function_id);
+  util::Xoshiro256 rng(config.seed);
+  util::Xoshiro256 jitter_rng = rng.split(0x0b1);
+  FitnessCache cache;
+
+  GaParams params = config.params;
+  params.pop_size = config.pop_size;
+  Deme deme(fn, params, rng.split(1),
+            config.use_fitness_cache ? &cache : nullptr);
+
+  SequentialGaResult result;
+  sim::Time now = 0;
+  double best_so_far = std::numeric_limits<double>::infinity();
+
+  // Serial runs on the same node class: mean speed factor, same stalls.
+  const double node_speed = 1.0 + config.compute.node_speed_spread / 2.0;
+  auto charge = [&](const EvalCount& count) {
+    const double jitter =
+        1.0 + config.compute.per_gen_jitter * jitter_rng.uniform(-1.0, 1.0);
+    const sim::Time work =
+        static_cast<sim::Time>(count.evaluations) * fn.eval_cost +
+        static_cast<sim::Time>(count.cache_hits) *
+            config.compute.cache_hit_cost +
+        static_cast<sim::Time>(params.pop_size) *
+            config.compute.op_cost_per_individual;
+    now += static_cast<sim::Time>(static_cast<double>(work) * jitter *
+                                  node_speed);
+    if (jitter_rng.bernoulli(config.compute.stall_probability)) {
+      now += static_cast<sim::Time>(
+          jitter_rng.uniform(static_cast<double>(config.compute.stall_min),
+                             static_cast<double>(config.compute.stall_max)));
+    }
+    result.evaluations += static_cast<std::uint64_t>(count.evaluations);
+    result.cache_hits += static_cast<std::uint64_t>(count.cache_hits);
+  };
+
+  charge(deme.initialize());
+  best_so_far = deme.best().fitness;
+  result.trajectory.points.emplace_back(now, best_so_far);
+  result.average.points.emplace_back(now, deme.average_fitness());
+
+  for (int gen = 1; gen <= config.generations; ++gen) {
+    charge(deme.step());
+    best_so_far = std::min(best_so_far, deme.best().fitness);
+    result.trajectory.points.emplace_back(now, best_so_far);
+    result.average.points.emplace_back(now, deme.average_fitness());
+  }
+
+  result.completion_time = now;
+  result.best_fitness = best_so_far;
+  result.final_average = result.average.points.back().second;
+  return result;
+}
+
+}  // namespace nscc::ga

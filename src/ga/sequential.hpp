@@ -1,0 +1,79 @@
+// Optimised sequential GA baseline (the paper's serial programs, including
+// the software fitness-caching technique [19]) with virtual-time accounting
+// so its completion time is comparable to the simulated parallel runs.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ga/deme.hpp"
+#include "sim/time.hpp"
+
+namespace nscc::ga {
+
+/// Virtual CPU cost model shared by the serial and island GAs, calibrated
+/// to a 77 MHz-class node (see DESIGN.md).
+struct GaComputeModel {
+  /// Cache probe + hit bookkeeping.
+  sim::Time cache_hit_cost = 50 * sim::kMicrosecond;
+  /// Selection / crossover / mutation bookkeeping per individual per
+  /// generation.
+  sim::Time op_cost_per_individual = 150 * sim::kMicrosecond;
+  /// Cost of splicing one migrant into the population.
+  sim::Time migration_cost_per_individual = 30 * sim::kMicrosecond;
+  /// Persistent multiplicative speed difference between nodes (load skew):
+  /// node factor ~ 1 + spread * U(0,1).  The serial baseline uses the mean
+  /// factor (same class of node, average OS load).
+  double node_speed_spread = 0.15;
+  /// Per-generation multiplicative jitter: 1 + U(-j, +j) (OS noise).
+  double per_gen_jitter = 0.10;
+  /// Occasional long stalls (daemons/paging), paid by serial and parallel
+  /// nodes alike; the island variants differ in how they tolerate them.
+  double stall_probability = 0.01;
+  sim::Time stall_min = 20 * sim::kMillisecond;
+  sim::Time stall_max = 80 * sim::kMillisecond;
+};
+
+/// Best-so-far fitness over virtual time.
+struct GaTrajectory {
+  std::vector<std::pair<sim::Time, double>> points;
+
+  /// First virtual time at which best-so-far <= target; -1 when never.
+  [[nodiscard]] sim::Time time_to_reach(double target) const;
+  [[nodiscard]] double final_best() const;
+};
+
+struct SequentialGaConfig {
+  int function_id = 1;
+  int pop_size = 50;
+  int generations = 1000;
+  std::uint64_t seed = 1;
+  GaParams params;
+  GaComputeModel compute;
+  bool use_fitness_cache = true;
+};
+
+struct SequentialGaResult {
+  sim::Time completion_time = 0;
+  double best_fitness = 0.0;
+  GaTrajectory trajectory;        ///< Best-so-far over virtual time.
+  GaTrajectory average;           ///< Population average over virtual time.
+  double final_average = 0.0;
+  std::uint64_t evaluations = 0;
+  std::uint64_t cache_hits = 0;
+  [[nodiscard]] double cache_hit_rate() const noexcept {
+    const auto total = evaluations + cache_hits;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cache_hits) /
+                            static_cast<double>(total);
+  }
+};
+
+SequentialGaResult run_sequential_ga(const SequentialGaConfig& config);
+
+/// Tolerance used to decide "global optimum found" for a test function
+/// (accounts for the binary-grid resolution).
+[[nodiscard]] double optimum_tolerance(const TestFunction& fn);
+
+}  // namespace nscc::ga

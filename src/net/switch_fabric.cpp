@@ -1,0 +1,47 @@
+#include "net/switch_fabric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nscc::net {
+
+sim::Time SwitchFabric::link_time(std::uint32_t payload_bytes) const {
+  const double bits =
+      static_cast<double>(payload_bytes + config_.packet_overhead_bytes) * 8.0;
+  return static_cast<sim::Time>(std::ceil(
+      bits / config_.link_bandwidth_bps * static_cast<double>(sim::kSecond)));
+}
+
+void SwitchFabric::transmit(
+    int src, int dst, std::uint32_t payload_bytes,
+    std::function<void(sim::Time delivered_at)> on_delivered) {
+  const sim::Time now = engine_.now();
+  const sim::Time wire = link_time(payload_bytes);
+
+  auto& tx = tx_busy_[static_cast<std::size_t>(src)];
+  const sim::Time tx_start = std::max(now, tx);
+  const sim::Time tx_end = tx_start + wire;
+  tx = tx_end;
+
+  auto& rx = rx_busy_[static_cast<std::size_t>(dst)];
+  const sim::Time rx_start = std::max(tx_end + config_.fabric_latency, rx);
+  const sim::Time delivered_at = rx_start + wire;
+  rx = delivered_at;
+
+  ++stats_.messages;
+  stats_.payload_bytes += payload_bytes;
+  stats_.tx_busy_time += wire;
+
+  engine_.schedule(delivered_at, [cb = std::move(on_delivered), delivered_at] {
+    cb(delivered_at);
+  });
+}
+
+double SwitchFabric::utilization() const {
+  const auto ports = static_cast<double>(tx_busy_.size());
+  const sim::Time elapsed = std::max<sim::Time>(1, engine_.now());
+  return static_cast<double>(stats_.tx_busy_time) /
+         (ports * static_cast<double>(elapsed));
+}
+
+}  // namespace nscc::net

@@ -1,0 +1,208 @@
+#include "nn/mlp.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace nscc::nn {
+
+namespace {
+
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+Mlp::Mlp(std::vector<int> layers, std::uint64_t seed)
+    : layers_(std::move(layers)) {
+  if (layers_.size() < 2) {
+    throw std::invalid_argument("Mlp needs at least input and output layers");
+  }
+  std::size_t total = 0;
+  for (std::size_t l = 0; l + 1 < layers_.size(); ++l) {
+    Slice s;
+    s.weights = total;
+    total += static_cast<std::size_t>(layers_[l]) *
+             static_cast<std::size_t>(layers_[l + 1]);
+    s.biases = total;
+    total += static_cast<std::size_t>(layers_[l + 1]);
+    slices_.push_back(s);
+  }
+  params_.resize(total);
+  util::Xoshiro256 rng(seed);
+  for (std::size_t l = 0; l + 1 < layers_.size(); ++l) {
+    // Xavier-style initialisation.
+    const double scale = std::sqrt(2.0 / (layers_[l] + layers_[l + 1]));
+    const Slice& s = slices_[l];
+    for (std::size_t i = s.weights; i < s.biases; ++i) {
+      params_[i] = rng.normal(0.0, scale);
+    }
+    for (int j = 0; j < layers_[l + 1]; ++j) {
+      params_[s.biases + static_cast<std::size_t>(j)] = 0.0;
+    }
+  }
+}
+
+void Mlp::set_parameters(const std::vector<double>& p) {
+  if (p.size() != params_.size()) {
+    throw std::invalid_argument("Mlp::set_parameters: size mismatch");
+  }
+  params_ = p;
+}
+
+std::vector<double> Mlp::forward(const std::vector<double>& input) const {
+  std::vector<double> act = input;
+  for (std::size_t l = 0; l + 1 < layers_.size(); ++l) {
+    const Slice& s = slices_[l];
+    const int in = layers_[l];
+    const int out = layers_[l + 1];
+    std::vector<double> next(static_cast<std::size_t>(out));
+    for (int j = 0; j < out; ++j) {
+      double z = params_[s.biases + static_cast<std::size_t>(j)];
+      for (int i = 0; i < in; ++i) {
+        z += params_[s.weights + static_cast<std::size_t>(i) *
+                                     static_cast<std::size_t>(out) +
+                     static_cast<std::size_t>(j)] *
+             act[static_cast<std::size_t>(i)];
+      }
+      const bool last = l + 2 == layers_.size();
+      next[static_cast<std::size_t>(j)] = last ? sigmoid(z) : std::tanh(z);
+    }
+    act = std::move(next);
+  }
+  return act;
+}
+
+double Mlp::loss(const std::vector<std::vector<double>>& inputs,
+                 const std::vector<std::vector<double>>& targets) const {
+  double sum = 0.0;
+  for (std::size_t n = 0; n < inputs.size(); ++n) {
+    const auto out = forward(inputs[n]);
+    for (std::size_t j = 0; j < out.size(); ++j) {
+      const double d = out[j] - targets[n][j];
+      sum += d * d;
+    }
+  }
+  return inputs.empty() ? 0.0 : sum / static_cast<double>(inputs.size());
+}
+
+double Mlp::accuracy(const std::vector<std::vector<double>>& inputs,
+                     const std::vector<std::vector<double>>& targets) const {
+  if (inputs.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t n = 0; n < inputs.size(); ++n) {
+    const auto out = forward(inputs[n]);
+    bool all = true;
+    for (std::size_t j = 0; j < out.size(); ++j) {
+      all = all && ((out[j] >= 0.5) == (targets[n][j] >= 0.5));
+    }
+    correct += all ? 1 : 0;
+  }
+  return static_cast<double>(correct) / static_cast<double>(inputs.size());
+}
+
+double Mlp::gradient(const std::vector<std::vector<double>>& inputs,
+                     const std::vector<std::vector<double>>& targets,
+                     std::size_t begin, std::size_t count,
+                     std::vector<double>& grad) const {
+  grad.assign(params_.size(), 0.0);
+  double batch_loss = 0.0;
+  const std::size_t layer_count = layers_.size();
+
+  // Per-example forward with cached activations, then backprop.
+  std::vector<std::vector<double>> acts(layer_count);
+  std::vector<std::vector<double>> deltas(layer_count);
+  for (std::size_t n = begin; n < begin + count && n < inputs.size(); ++n) {
+    acts[0] = inputs[n];
+    for (std::size_t l = 0; l + 1 < layer_count; ++l) {
+      const Slice& s = slices_[l];
+      const int in = layers_[l];
+      const int out = layers_[l + 1];
+      acts[l + 1].assign(static_cast<std::size_t>(out), 0.0);
+      for (int j = 0; j < out; ++j) {
+        double z = params_[s.biases + static_cast<std::size_t>(j)];
+        for (int i = 0; i < in; ++i) {
+          z += params_[s.weights + static_cast<std::size_t>(i) *
+                                       static_cast<std::size_t>(out) +
+                       static_cast<std::size_t>(j)] *
+               acts[l][static_cast<std::size_t>(i)];
+        }
+        const bool last = l + 2 == layer_count;
+        acts[l + 1][static_cast<std::size_t>(j)] =
+            last ? sigmoid(z) : std::tanh(z);
+      }
+    }
+
+    const auto& out_act = acts[layer_count - 1];
+    deltas[layer_count - 1].assign(out_act.size(), 0.0);
+    for (std::size_t j = 0; j < out_act.size(); ++j) {
+      const double err = out_act[j] - targets[n][j];
+      batch_loss += err * err;
+      // d/dz sigmoid = y(1-y); loss derivative 2*err.
+      deltas[layer_count - 1][j] = 2.0 * err * out_act[j] * (1.0 - out_act[j]);
+    }
+
+    for (std::size_t l = layer_count - 1; l-- > 0;) {
+      const Slice& s = slices_[l];
+      const int in = layers_[l];
+      const int out = layers_[l + 1];
+      if (l > 0) {
+        deltas[l].assign(static_cast<std::size_t>(in), 0.0);
+      }
+      for (int j = 0; j < out; ++j) {
+        const double d = deltas[l + 1][static_cast<std::size_t>(j)];
+        grad[s.biases + static_cast<std::size_t>(j)] += d;
+        for (int i = 0; i < in; ++i) {
+          const std::size_t w = s.weights + static_cast<std::size_t>(i) *
+                                                static_cast<std::size_t>(out) +
+                                static_cast<std::size_t>(j);
+          grad[w] += d * acts[l][static_cast<std::size_t>(i)];
+          if (l > 0) {
+            const double a = acts[l][static_cast<std::size_t>(i)];
+            deltas[l][static_cast<std::size_t>(i)] +=
+                d * params_[w] * (1.0 - a * a);  // d/dz tanh = 1 - y^2.
+          }
+        }
+      }
+    }
+  }
+  const auto batch = static_cast<double>(std::min(count, inputs.size() - begin));
+  if (batch > 0) {
+    for (double& g : grad) g /= batch;
+    batch_loss /= batch;
+  }
+  return batch_loss;
+}
+
+void Mlp::apply_gradient(const std::vector<double>& grad, double lr) {
+  assert(grad.size() == params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    params_[i] -= lr * grad[i];
+  }
+}
+
+Dataset make_two_spirals(int per_class, double noise, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  Dataset data;
+  for (int cls = 0; cls < 2; ++cls) {
+    for (int i = 0; i < per_class; ++i) {
+      const double t =
+          1.0 + 3.5 * static_cast<double>(i) / static_cast<double>(per_class);
+      const double angle =
+          t * 1.8 + (cls == 0 ? 0.0 : std::numbers::pi);
+      const double r = t / 5.0;
+      data.inputs.push_back({r * std::cos(angle) + rng.normal(0.0, noise),
+                             r * std::sin(angle) + rng.normal(0.0, noise)});
+      data.targets.push_back({static_cast<double>(cls)});
+    }
+  }
+  // Shuffle for well-mixed mini-batches.
+  for (std::size_t i = data.size(); i > 1; --i) {
+    const auto j = rng.below(i);
+    std::swap(data.inputs[i - 1], data.inputs[j]);
+    std::swap(data.targets[i - 1], data.targets[j]);
+  }
+  return data;
+}
+
+}  // namespace nscc::nn

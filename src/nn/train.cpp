@@ -1,0 +1,257 @@
+#include "nn/train.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "net/load_generator.hpp"
+
+namespace nscc::nn {
+
+namespace {
+
+constexpr dsm::LocationId kParamsLoc = 900;
+constexpr int kGradientTag = 950;
+
+sim::Time gradient_cost(const Mlp& net, int batch, sim::Time per_mac) {
+  // Forward + backward ~ 2 passes over the weights per example.
+  return static_cast<sim::Time>(net.parameter_count()) * batch * 4 * per_mac;
+}
+
+sim::Time eval_cost(const Mlp& net, std::size_t examples, sim::Time per_mac) {
+  return static_cast<sim::Time>(net.parameter_count()) *
+         static_cast<sim::Time>(examples) * 2 * per_mac;
+}
+
+}  // namespace
+
+sim::Time TrainResult::time_to_loss(double target) const {
+  for (const auto& [t, loss] : loss_trajectory) {
+    if (loss <= target) return t;
+  }
+  return -1;
+}
+
+TrainResult train_sequential(const Dataset& data, const TrainConfig& config) {
+  Mlp net(config.layers, config.seed);
+  TrainResult result;
+  sim::Time now = 0;
+  std::vector<double> grad;
+  const double speed = 1.0 + config.node_speed_spread / 2.0;
+  util::Xoshiro256 jitter_rng(config.seed ^ 0x0b1);
+
+  // Matches the parallel schedule: steps x workers mini-batches.
+  const int total_steps = config.steps * config.workers;
+  std::size_t cursor = 0;
+  for (int step = 1; step <= total_steps; ++step) {
+    net.gradient(data.inputs, data.targets, cursor,
+                 static_cast<std::size_t>(config.batch_size), grad);
+    net.apply_gradient(grad, config.learning_rate);
+    cursor = (cursor + static_cast<std::size_t>(config.batch_size)) %
+             data.size();
+    const double jitter =
+        1.0 + config.per_step_jitter * jitter_rng.uniform(-1.0, 1.0);
+    now += static_cast<sim::Time>(
+        static_cast<double>(gradient_cost(net, config.batch_size,
+                                          config.cost_per_mac)) *
+        speed * jitter);
+    if (step % config.eval_every == 0) {
+      now += static_cast<sim::Time>(
+          static_cast<double>(eval_cost(net, data.size(), config.cost_per_mac)) *
+          speed);
+      result.loss_trajectory.emplace_back(now,
+                                          net.loss(data.inputs, data.targets));
+    }
+  }
+  result.completion_time = now;
+  result.final_loss = net.loss(data.inputs, data.targets);
+  result.final_accuracy = net.accuracy(data.inputs, data.targets);
+  return result;
+}
+
+TrainResult train_parallel(const Dataset& data, const TrainConfig& config,
+                           rt::MachineConfig machine,
+                           double loader_offered_bps) {
+  const int P = config.workers;
+  machine.ntasks = P + 1;  // Task 0 is the parameter server.
+  machine.seed = config.seed;
+  rt::VirtualMachine vm(machine);
+
+  util::Xoshiro256 skew_rng(config.seed ^ 0x5ca1eULL);
+  std::vector<double> speed(static_cast<std::size_t>(P + 1));
+  for (double& s : speed) {
+    s = 1.0 + config.node_speed_spread * skew_rng.uniform01();
+  }
+
+  TrainResult result;
+  util::RunningStats staleness;
+  std::vector<dsm::DsmStats> worker_dsm(static_cast<std::size_t>(P));
+
+  // ---- parameter server -------------------------------------------------------
+  vm.add_task("server", [&](rt::Task& task) {
+    Mlp net(config.layers, config.seed);
+    dsm::SharedSpace space(task);
+    std::vector<int> readers;
+    for (int w = 1; w <= P; ++w) readers.push_back(w);
+    space.declare_written(kParamsLoc, readers);
+
+    auto publish = [&](dsm::Iteration round) {
+      rt::Packet p;
+      p.pack_double_vec(net.parameters());
+      space.write(kParamsLoc, round, std::move(p));
+    };
+    publish(0);
+
+    std::vector<int> applied(static_cast<std::size_t>(P + 1), 0);
+    std::vector<std::vector<double>> pending_sync(
+        static_cast<std::size_t>(P + 1));
+    dsm::Iteration published_round = 0;
+    int applications = 0;
+
+    auto maybe_eval = [&] {
+      if (applications % config.eval_every != 0) return;
+      task.compute(static_cast<sim::Time>(
+          static_cast<double>(eval_cost(net, data.size(), config.cost_per_mac)) *
+          speed[0]));
+      result.loss_trajectory.emplace_back(task.now(),
+                                          net.loss(data.inputs, data.targets));
+    };
+
+    auto min_applied = [&] {
+      int m = std::numeric_limits<int>::max();
+      for (int w = 1; w <= P; ++w) {
+        m = std::min(m, applied[static_cast<std::size_t>(w)]);
+      }
+      return m;
+    };
+
+    while (min_applied() < config.steps) {
+      rt::Message msg = task.recv(kGradientTag);
+      const int step = msg.payload.unpack_i32();
+      auto grad = msg.payload.unpack_double_vec();
+
+      if (config.mode == dsm::Mode::kSynchronous) {
+        // Collect all P gradients of the round, then apply them one after
+        // another (same per-gradient learning rate as the serial baseline).
+        pending_sync[static_cast<std::size_t>(msg.src)] = std::move(grad);
+        applied[static_cast<std::size_t>(msg.src)] = step;
+        bool round_full = true;
+        for (int w = 1; w <= P; ++w) {
+          round_full = round_full &&
+                       applied[static_cast<std::size_t>(w)] >= step &&
+                       !pending_sync[static_cast<std::size_t>(w)].empty();
+        }
+        if (round_full) {
+          for (int w = 1; w <= P; ++w) {
+            auto& g = pending_sync[static_cast<std::size_t>(w)];
+            net.apply_gradient(g, config.learning_rate);
+            g.clear();
+            ++applications;
+          }
+          task.compute(static_cast<sim::Time>(
+              static_cast<double>(
+                  static_cast<sim::Time>(net.parameter_count()) * 2 *
+                  static_cast<sim::Time>(P) * config.cost_per_mac) *
+              speed[0]));
+          published_round = step;
+          publish(published_round);
+          maybe_eval();
+        }
+      } else {
+        // Stale-gradient SGD: apply on arrival at the full learning rate.
+        net.apply_gradient(grad, config.learning_rate);
+        ++applications;
+        task.compute(static_cast<sim::Time>(
+            static_cast<double>(static_cast<sim::Time>(net.parameter_count()) *
+                                2 * config.cost_per_mac) *
+            speed[0]));
+        applied[static_cast<std::size_t>(msg.src)] = step;
+        const auto round = static_cast<dsm::Iteration>(min_applied());
+        if (round > published_round) {
+          published_round = round;
+          publish(published_round);
+        }
+        maybe_eval();
+      }
+    }
+    result.final_loss = net.loss(data.inputs, data.targets);
+    result.final_accuracy = net.accuracy(data.inputs, data.targets);
+  });
+
+  // ---- workers -----------------------------------------------------------------
+  for (int w = 1; w <= P; ++w) {
+    vm.add_task("worker" + std::to_string(w), [&, w](rt::Task& task) {
+      Mlp net(config.layers, config.seed);
+      dsm::SharedSpace space(task);
+      space.declare_read(kParamsLoc, 0);
+      util::Xoshiro256 jitter_rng = task.rng().split(0xba5e);
+      const double my_speed = speed[static_cast<std::size_t>(w)];
+
+      // Each worker strides through its own shard of mini-batches.
+      std::size_t cursor = static_cast<std::size_t>(w - 1) *
+                           static_cast<std::size_t>(config.batch_size);
+      std::vector<double> grad;
+
+      for (int step = 1; step <= config.steps; ++step) {
+        const dsm::SharedSpace::Value* v = nullptr;
+        switch (config.mode) {
+          case dsm::Mode::kSynchronous:
+            v = &space.global_read(kParamsLoc, step - 1, 0);
+            break;
+          case dsm::Mode::kPartialAsync:
+            v = &space.global_read(kParamsLoc, step - 1, config.age);
+            break;
+          case dsm::Mode::kAsynchronous:
+            v = &space.read(kParamsLoc);
+            break;
+        }
+        if (v->valid) {
+          rt::Packet params = v->data;
+          net.set_parameters(params.unpack_double_vec());
+          staleness.add(static_cast<double>(step - 1 - v->iteration));
+        }
+
+        net.gradient(data.inputs, data.targets, cursor,
+                     static_cast<std::size_t>(config.batch_size), grad);
+        cursor = (cursor + static_cast<std::size_t>(config.batch_size) *
+                               static_cast<std::size_t>(P)) %
+                 data.size();
+        const double jitter =
+            1.0 + config.per_step_jitter * jitter_rng.uniform(-1.0, 1.0);
+        task.compute(static_cast<sim::Time>(
+            static_cast<double>(gradient_cost(net, config.batch_size,
+                                              config.cost_per_mac)) *
+            my_speed * jitter));
+
+        rt::Packet g;
+        g.pack_i32(step);
+        g.pack_double_vec(grad);
+        task.send(0, kGradientTag, std::move(g));
+      }
+      worker_dsm[static_cast<std::size_t>(w - 1)] = space.stats();
+    });
+  }
+
+  net::LoadGenerator loader(vm.engine(), vm.bus(),
+                            net::LoadGeneratorConfig{
+                                .offered_bps = loader_offered_bps,
+                                .frame_payload_bytes = 1024,
+                                .poisson = true,
+                                .seed = config.seed ^ 0x70adULL,
+                            });
+  const sim::Time horizon = 24LL * 3600 * sim::kSecond;
+  result.completion_time = vm.run(horizon);
+  loader.stop();
+  result.deadlocked = vm.deadlocked() || result.completion_time >= horizon;
+  result.bus_utilization = vm.network_utilization();
+  for (int t = 0; t <= P; ++t) {
+    result.messages_sent += vm.task(t).stats().messages_sent;
+  }
+  for (const auto& d : worker_dsm) {
+    result.global_read_blocks += d.global_read_blocks;
+    result.global_read_block_time += d.global_read_block_time;
+  }
+  result.mean_staleness = staleness.mean();
+  return result;
+}
+
+}  // namespace nscc::nn

@@ -1,0 +1,133 @@
+// Typed pack/unpack message buffers, after PVM's pvm_pk*/pvm_upk* model.
+//
+// Senders pack fields in order; receivers unpack in the same order.  The
+// buffer knows its byte size, which is what the network model charges for.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace nscc::rt {
+
+class Packet {
+ public:
+  Packet() = default;
+
+  // ---- packing -----------------------------------------------------------
+  Packet& pack_u8(std::uint8_t v) { return append(&v, sizeof v); }
+  Packet& pack_i32(std::int32_t v) { return append(&v, sizeof v); }
+  Packet& pack_u32(std::uint32_t v) { return append(&v, sizeof v); }
+  Packet& pack_i64(std::int64_t v) { return append(&v, sizeof v); }
+  Packet& pack_u64(std::uint64_t v) { return append(&v, sizeof v); }
+  Packet& pack_double(double v) { return append(&v, sizeof v); }
+
+  Packet& pack_bytes(const void* data, std::size_t n) {
+    pack_u64(n);
+    return append(data, n);
+  }
+
+  Packet& pack_string(const std::string& s) {
+    return pack_bytes(s.data(), s.size());
+  }
+
+  Packet& pack_u64_vec(const std::vector<std::uint64_t>& v) {
+    pack_u64(v.size());
+    return append(v.data(), v.size() * sizeof(std::uint64_t));
+  }
+
+  Packet& pack_double_vec(const std::vector<double>& v) {
+    pack_u64(v.size());
+    return append(v.data(), v.size() * sizeof(double));
+  }
+
+  /// Embed another packet (its bytes travel nested; unpack with
+  /// unpack_packet).  Used by DSM updates that carry opaque app payloads.
+  Packet& pack_packet(const Packet& p) {
+    pack_u64(p.buf_.size());
+    return append(p.buf_.data(), p.buf_.size());
+  }
+
+  // ---- unpacking (in packing order) ---------------------------------------
+  std::uint8_t unpack_u8() { return take<std::uint8_t>(); }
+  std::int32_t unpack_i32() { return take<std::int32_t>(); }
+  std::uint32_t unpack_u32() { return take<std::uint32_t>(); }
+  std::int64_t unpack_i64() { return take<std::int64_t>(); }
+  std::uint64_t unpack_u64() { return take<std::uint64_t>(); }
+  double unpack_double() { return take<double>(); }
+
+  std::string unpack_string() {
+    const std::uint64_t n = unpack_u64();
+    check(n);
+    std::string s(reinterpret_cast<const char*>(buf_.data() + rpos_),
+                  static_cast<std::size_t>(n));
+    rpos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+
+  std::vector<std::uint64_t> unpack_u64_vec() { return take_vec<std::uint64_t>(); }
+  std::vector<double> unpack_double_vec() { return take_vec<double>(); }
+
+  Packet unpack_packet() {
+    const std::uint64_t n = unpack_u64();
+    check(n);
+    Packet q;
+    q.buf_.assign(buf_.begin() + static_cast<std::ptrdiff_t>(rpos_),
+                  buf_.begin() + static_cast<std::ptrdiff_t>(rpos_ + n));
+    rpos_ += static_cast<std::size_t>(n);
+    return q;
+  }
+
+  // ---- inspection ----------------------------------------------------------
+  /// Total serialized payload size in bytes (what the wire model charges).
+  [[nodiscard]] std::uint32_t byte_size() const noexcept {
+    return static_cast<std::uint32_t>(buf_.size());
+  }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return buf_.size() - rpos_;
+  }
+  [[nodiscard]] bool fully_consumed() const noexcept { return remaining() == 0; }
+
+  /// Reset the read cursor (e.g. to re-read a stored message).
+  void rewind() noexcept { rpos_ = 0; }
+
+ private:
+  Packet& append(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::byte*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+    return *this;
+  }
+
+  void check(std::uint64_t n) const {
+    if (rpos_ + n > buf_.size()) {
+      throw std::out_of_range("Packet: unpack past end of buffer");
+    }
+  }
+
+  template <typename T>
+  T take() {
+    check(sizeof(T));
+    T v;
+    std::memcpy(&v, buf_.data() + rpos_, sizeof(T));
+    rpos_ += sizeof(T);
+    return v;
+  }
+
+  template <typename T>
+  std::vector<T> take_vec() {
+    const std::uint64_t n = unpack_u64();
+    check(n * sizeof(T));
+    std::vector<T> v(static_cast<std::size_t>(n));
+    std::memcpy(v.data(), buf_.data() + rpos_, v.size() * sizeof(T));
+    rpos_ += v.size() * sizeof(T);
+    return v;
+  }
+
+  std::vector<std::byte> buf_;
+  std::size_t rpos_ = 0;
+};
+
+}  // namespace nscc::rt

@@ -1,0 +1,245 @@
+#include "rt/vm.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace nscc::rt {
+
+// ---- Task -------------------------------------------------------------------
+
+int Task::vm_size() const noexcept { return vm_.size(); }
+
+const std::string& Task::name() const noexcept { return process_->name(); }
+
+sim::Time Task::now() const noexcept { return vm_.engine_.now(); }
+
+void Task::compute(sim::Time dt) {
+  assert(vm_.engine_.current() == process_ &&
+         "compute() must run inside the task's process");
+  stats_.compute_time += dt;
+  process_->delay(dt);
+}
+
+void Task::send(int dst, int tag, Packet payload) {
+  send_observed(dst, tag, std::move(payload), {});
+}
+
+void Task::send_observed(int dst, int tag, Packet payload,
+                         std::function<void()> after_delivery) {
+  compute(vm_.config_.send_sw_overhead);
+  // Transport backpressure: block while the socket-buffer window is full
+  // (a flooding sender is throttled to the medium's drain rate).
+  const std::uint64_t window = vm_.config_.sender_window_bytes;
+  const std::uint64_t bytes = payload.byte_size();
+  if (window != 0 && in_flight_bytes_ > 0 &&
+      in_flight_bytes_ + bytes > window) {
+    ++stats_.send_backpressure_events;
+    const sim::Time blocked_from = now();
+    while (in_flight_bytes_ > 0 && in_flight_bytes_ + bytes > window) {
+      waiting_for_window_ = true;
+      process_->suspend();
+    }
+    stats_.send_backpressure_time += now() - blocked_from;
+  }
+  if (!vm_.post(id_, dst, tag, std::move(payload), std::move(after_delivery))) {
+    ++stats_.messages_dropped;
+  }
+}
+
+void Task::broadcast(int tag, const Packet& payload) {
+  for (int dst = 0; dst < vm_.size(); ++dst) {
+    if (dst != id_) send(dst, tag, payload);
+  }
+}
+
+std::optional<std::size_t> Task::find_match(int tag) const noexcept {
+  for (std::size_t i = 0; i < mailbox_.size(); ++i) {
+    const int t = mailbox_[i].tag;
+    const bool match = (tag == kAnyTag) ? (t < kReservedTagBase) : (t == tag);
+    if (match) return i;
+  }
+  return std::nullopt;
+}
+
+Message Task::pop_at(std::size_t index) {
+  Message msg = std::move(mailbox_[index]);
+  mailbox_.erase(mailbox_.begin() + static_cast<std::ptrdiff_t>(index));
+  return msg;
+}
+
+Message Task::recv(int tag) {
+  assert(vm_.engine_.current() == process_ &&
+         "recv() must run inside the task's process");
+  for (;;) {
+    if (auto idx = find_match(tag)) {
+      Message msg = pop_at(*idx);
+      ++stats_.messages_received;
+      compute(vm_.config_.recv_sw_overhead);
+      return msg;
+    }
+    waiting_ = true;
+    waiting_tag_ = tag;
+    const sim::Time blocked_from = now();
+    process_->suspend();
+    stats_.blocked_time += now() - blocked_from;
+  }
+}
+
+std::optional<Message> Task::try_recv(int tag) {
+  assert(vm_.engine_.current() == process_);
+  if (auto idx = find_match(tag)) {
+    Message msg = pop_at(*idx);
+    ++stats_.messages_received;
+    compute(vm_.config_.recv_sw_overhead);
+    return msg;
+  }
+  return std::nullopt;
+}
+
+bool Task::probe(int tag) const noexcept { return find_match(tag).has_value(); }
+
+void Task::deliver(Message msg) {
+  if (msg.src != id_) {
+    vm_.warp_.record(id_, msg.src, msg.sent_at, msg.delivered_at);
+  }
+  mailbox_.push_back(std::move(msg));
+  if (waiting_) {
+    const Message& arrived = mailbox_.back();
+    const bool match = (waiting_tag_ == kAnyTag)
+                           ? (arrived.tag < kReservedTagBase)
+                           : (arrived.tag == waiting_tag_);
+    if (match) {
+      waiting_ = false;
+      process_->resume();
+    }
+  }
+}
+
+void Task::barrier() {
+  Packet empty;
+  if (id_ == 0) {
+    for (int i = 1; i < vm_.size(); ++i) {
+      (void)recv(kBarrierArriveTag);
+    }
+    for (int i = 1; i < vm_.size(); ++i) {
+      send(i, kBarrierReleaseTag, empty);
+    }
+  } else {
+    send(0, kBarrierArriveTag, empty);
+    (void)recv(kBarrierReleaseTag);
+  }
+}
+
+// ---- VirtualMachine ----------------------------------------------------------
+
+bool VirtualMachine::post(int src, int dst, int tag, Packet payload,
+                          std::function<void()> after_delivery) {
+  assert(src >= 0 && src < size());
+  assert(dst >= 0 && dst < size());
+
+  Message msg;
+  msg.src = src;
+  msg.tag = tag;
+  msg.payload = std::move(payload);
+  msg.sent_at = engine_.now();
+
+  Task* sender = tasks_.at(src).get();
+  const std::uint32_t payload_bytes = msg.payload.byte_size();
+  ++sender->stats_.messages_sent;
+  sender->stats_.bytes_sent += payload_bytes;
+  sender->in_flight_bytes_ += payload_bytes;
+
+  // Runs at delivery: releases the sender's transport window and wakes it
+  // if it is blocked in send().
+  auto release_window = [sender, payload_bytes] {
+    sender->in_flight_bytes_ -= payload_bytes;
+    if (sender->waiting_for_window_) {
+      sender->waiting_for_window_ = false;
+      sender->process_->resume();
+    }
+  };
+
+  Task* receiver = tasks_.at(dst).get();
+  if (dst == src) {
+    // Local delivery: no wire time, still ordered via an event.
+    engine_.schedule(engine_.now(),
+                     [receiver, m = std::move(msg), release_window,
+                      cb = std::move(after_delivery)]() mutable {
+                       m.delivered_at = receiver->vm_.engine_.now();
+                       receiver->deliver(std::move(m));
+                       release_window();
+                       if (cb) cb();
+                     });
+    return true;
+  }
+
+  auto deliver = [receiver, m = std::move(msg), release_window,
+                  cb = std::move(after_delivery)](sim::Time delivered_at) mutable {
+    m.delivered_at = delivered_at;
+    receiver->deliver(std::move(m));
+    release_window();
+    if (cb) cb();
+  };
+  if (switch_) {
+    switch_->transmit(src, dst, payload_bytes, std::move(deliver));
+    return true;
+  }
+  const bool accepted = bus_.transmit(payload_bytes, std::move(deliver));
+  if (!accepted) release_window();  // Tail drop: nothing stays in flight.
+  return accepted;
+}
+
+double VirtualMachine::network_utilization() const noexcept {
+  return switch_ ? switch_->utilization() : bus_.utilization();
+}
+
+VirtualMachine::VirtualMachine(MachineConfig config)
+    : config_(config), bus_(engine_, config.bus) {
+  if (config_.ntasks < 1) {
+    throw std::invalid_argument("VirtualMachine needs at least one task");
+  }
+  if (config_.network == Network::kSp2Switch) {
+    switch_ = std::make_unique<net::SwitchFabric>(engine_, config_.ntasks,
+                                                  config_.sp2_switch);
+  }
+}
+
+void VirtualMachine::add_task(std::string name,
+                              std::function<void(Task&)> body) {
+  if (static_cast<int>(bodies_.size()) >= config_.ntasks) {
+    throw std::logic_error("more task bodies than configured ntasks");
+  }
+  bodies_.emplace_back(std::move(name), std::move(body));
+}
+
+sim::Time VirtualMachine::run(sim::Time until) {
+  if (static_cast<int>(bodies_.size()) != config_.ntasks) {
+    throw std::logic_error("not all task bodies registered before run()");
+  }
+  if (!tasks_.empty()) {
+    throw std::logic_error("VirtualMachine::run() may only be called once");
+  }
+
+  util::Xoshiro256 root(config_.seed);
+  for (int id = 0; id < config_.ntasks; ++id) {
+    tasks_.push_back(std::unique_ptr<Task>(
+        new Task(*this, id, root.split(static_cast<std::uint64_t>(id)))));
+  }
+  for (int id = 0; id < config_.ntasks; ++id) {
+    Task* task = tasks_[id].get();
+    auto body = bodies_[id].second;
+    task->process_ = &engine_.spawn(bodies_[id].first,
+                                    [task, body](sim::Process&) { body(*task); });
+  }
+  // Stop once every task body has returned, even if non-task event sources
+  // (e.g. a background load generator) would keep the queue non-empty.
+  return engine_.run(until, [this] {
+    for (const auto& t : tasks_) {
+      if (!t->process_->finished()) return false;
+    }
+    return true;
+  });
+}
+
+}  // namespace nscc::rt

@@ -1,0 +1,195 @@
+// PVM-like message-passing runtime over the simulated shared bus.
+//
+// A VirtualMachine hosts a fixed set of tasks (one per simulated SP2 node).
+// Each task body runs as a simulator process and talks to peers through
+// typed point-to-point messages with tags, exactly the programming model the
+// paper's user-level DSM macros were built on.  Per-message software
+// overheads (PVM pack/send and receive/dispatch CPU costs) are charged as
+// virtual compute on the sender and receiver, and wire time is charged by
+// the SharedBus; a WarpMeter observes every delivery.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/shared_bus.hpp"
+#include "net/switch_fabric.hpp"
+#include "rt/packet.hpp"
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+#include "warp/warp_meter.hpp"
+
+namespace nscc::rt {
+
+/// Matches any application tag (reserved runtime tags are never matched).
+inline constexpr int kAnyTag = -1;
+/// Tags at or above this value are reserved for the runtime (barrier, DSM).
+inline constexpr int kReservedTagBase = 1 << 24;
+inline constexpr int kBarrierArriveTag = kReservedTagBase + 1;
+inline constexpr int kBarrierReleaseTag = kReservedTagBase + 2;
+/// Base tag for DSM update traffic (one tag, locations multiplexed inside).
+inline constexpr int kDsmUpdateTag = kReservedTagBase + 3;
+/// Tag for DSM read-demand requests (the requesting Global_Read impl).
+inline constexpr int kDsmRequestTag = kReservedTagBase + 4;
+
+struct Message {
+  int src = -1;
+  int tag = 0;
+  Packet payload;
+  sim::Time sent_at = 0;       ///< When the sender handed it to the network.
+  sim::Time delivered_at = 0;  ///< When it reached the receiver's mailbox.
+};
+
+/// Which interconnect carries inter-task traffic.
+enum class Network {
+  kEthernet,   ///< Shared 10 Mbps bus (the paper's evaluation platform).
+  kSp2Switch,  ///< Per-port switched fabric (the SP2's other interconnect).
+};
+
+struct MachineConfig {
+  int ntasks = 2;
+  Network network = Network::kEthernet;
+  net::BusConfig bus;
+  net::SwitchConfig sp2_switch;
+  /// Sender-side CPU cost per message (PVM pack + syscall + protocol;
+  /// mid-90s PVM over UDP on AIX was of order a millisecond end to end).
+  sim::Time send_sw_overhead = 600 * sim::kMicrosecond;
+  /// Receiver-side CPU cost per message consumed.
+  sim::Time recv_sw_overhead = 300 * sim::kMicrosecond;
+  /// Root seed; per-task streams are split deterministically from it.
+  std::uint64_t seed = 1;
+  /// Sender-side transport window (PVM-over-TCP socket buffering): a task's
+  /// send() blocks while it has more than this many bytes in flight
+  /// (queued or on the wire).  This is the backpressure that throttles a
+  /// flooding sender once the shared medium falls behind.  0 = unlimited.
+  std::uint64_t sender_window_bytes = 64 * 1024;
+};
+
+struct TaskStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t messages_dropped = 0;  ///< Tail-dropped by the bus.
+  std::uint64_t send_backpressure_events = 0;
+  sim::Time compute_time = 0;
+  sim::Time blocked_time = 0;
+  sim::Time send_backpressure_time = 0;
+};
+
+class VirtualMachine;
+
+/// Handle passed to a task body; all members must be called from within the
+/// task's own process unless noted.
+class Task {
+ public:
+  [[nodiscard]] int id() const noexcept { return id_; }
+  [[nodiscard]] int vm_size() const noexcept;
+  [[nodiscard]] const std::string& name() const noexcept;
+  [[nodiscard]] sim::Time now() const noexcept;
+  [[nodiscard]] util::Xoshiro256& rng() noexcept { return rng_; }
+  [[nodiscard]] VirtualMachine& vm() noexcept { return vm_; }
+  [[nodiscard]] const TaskStats& stats() const noexcept { return stats_; }
+
+  /// Charge `dt` of virtual CPU time.
+  void compute(sim::Time dt);
+
+  /// Send `payload` to task `dst` with application or runtime tag `tag`.
+  /// Charges the sender software overhead, blocks while the transport
+  /// window is full, and puts the message on the bus (self-sends are
+  /// delivered locally, free of wire time).
+  void send(int dst, int tag, Packet payload);
+
+  /// Like send(), with a callback run (engine context) at delivery time.
+  /// The DSM uses it to track in-flight updates for coalescing.
+  void send_observed(int dst, int tag, Packet payload,
+                     std::function<void()> after_delivery);
+
+  /// Send to every other task (PVM mcast over Ethernet = serial sends).
+  void broadcast(int tag, const Packet& payload);
+
+  /// Blocking receive of the first queued message matching `tag`
+  /// (kAnyTag matches any application tag).  Charges receive overhead.
+  Message recv(int tag = kAnyTag);
+
+  /// Non-blocking receive; charges receive overhead only on success.
+  std::optional<Message> try_recv(int tag = kAnyTag);
+
+  /// True when a matching message is queued (no cost).
+  [[nodiscard]] bool probe(int tag = kAnyTag) const noexcept;
+
+  /// Coordinator barrier over real messages (task 0 collects and releases).
+  void barrier();
+
+ private:
+  friend class VirtualMachine;
+  Task(VirtualMachine& vm, int id, util::Xoshiro256 rng)
+      : vm_(vm), id_(id), rng_(rng) {}
+
+  [[nodiscard]] std::optional<std::size_t> find_match(int tag) const noexcept;
+  Message pop_at(std::size_t index);
+  void deliver(Message msg);  // engine context
+
+  VirtualMachine& vm_;
+  int id_;
+  util::Xoshiro256 rng_;
+  sim::Process* process_ = nullptr;
+  std::deque<Message> mailbox_;
+  bool waiting_ = false;
+  int waiting_tag_ = kAnyTag;
+  std::uint64_t in_flight_bytes_ = 0;
+  bool waiting_for_window_ = false;
+  TaskStats stats_;
+};
+
+class VirtualMachine {
+ public:
+  explicit VirtualMachine(MachineConfig config);
+
+  VirtualMachine(const VirtualMachine&) = delete;
+  VirtualMachine& operator=(const VirtualMachine&) = delete;
+
+  /// Register the body for the next task id (call ntasks times before run).
+  void add_task(std::string name, std::function<void(Task&)> body);
+
+  /// Run the simulation until all tasks finish (or deadlock / `until`).
+  /// Returns the virtual completion time.
+  sim::Time run(sim::Time until = std::numeric_limits<sim::Time>::max());
+
+  /// Low-level message injection: puts `payload` on the wire from `src` to
+  /// `dst` without charging sender CPU (usable from engine context; the DSM
+  /// "daemon" uses it for deferred coalesced updates).  `after_delivery`
+  /// runs in engine context right after the message lands in the mailbox.
+  /// Returns false when the bus tail-dropped the message.
+  bool post(int src, int dst, int tag, Packet payload,
+            std::function<void()> after_delivery = {});
+
+  [[nodiscard]] int size() const noexcept { return config_.ntasks; }
+  [[nodiscard]] Task& task(int id) { return *tasks_.at(id); }
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] net::SharedBus& bus() noexcept { return bus_; }
+  [[nodiscard]] net::SwitchFabric& sp2_switch() noexcept { return *switch_; }
+  /// Utilisation of whichever interconnect is active.
+  [[nodiscard]] double network_utilization() const noexcept;
+  [[nodiscard]] warp::WarpMeter& warp_meter() noexcept { return warp_; }
+  [[nodiscard]] const MachineConfig& config() const noexcept { return config_; }
+  [[nodiscard]] bool deadlocked() const noexcept { return engine_.deadlocked(); }
+
+ private:
+  friend class Task;
+
+  MachineConfig config_;
+  sim::Engine engine_;
+  net::SharedBus bus_;
+  std::unique_ptr<net::SwitchFabric> switch_;  ///< Set for kSp2Switch.
+  warp::WarpMeter warp_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::vector<std::pair<std::string, std::function<void(Task&)>>> bodies_;
+};
+
+}  // namespace nscc::rt

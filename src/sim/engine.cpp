@@ -1,0 +1,118 @@
+#include "sim/engine.hpp"
+
+#include <limits>
+#include <utility>
+
+namespace nscc::sim {
+
+Process::Process(Engine& engine, int id, std::string name,
+                 std::function<void()> body, std::size_t stack_bytes)
+    : engine_(engine),
+      id_(id),
+      name_(std::move(name)),
+      fiber_(std::move(body), stack_bytes) {}
+
+Time Process::now() const noexcept { return engine_.now(); }
+
+void Process::delay(Time dt) {
+  assert(engine_.current() == this && "delay() called from outside the process");
+  assert(dt >= 0);
+  state_ = State::kBlocked;
+  resume_scheduled_ = true;
+  Process* self = this;
+  engine_.schedule(engine_.now() + dt, [self] { self->engine_.run_process(*self); });
+  fiber_.yield();
+}
+
+void Process::suspend() {
+  assert(engine_.current() == this &&
+         "suspend() called from outside the process");
+  state_ = State::kBlocked;
+  resume_scheduled_ = false;
+  fiber_.yield();
+}
+
+void Process::resume_at(Time t) {
+  assert(engine_.current() != this && "a running process cannot resume itself");
+  assert(state_ == State::kBlocked && "resume of a non-blocked process");
+  assert(!resume_scheduled_ && "process already has a pending resume");
+  assert(t >= engine_.now());
+  resume_scheduled_ = true;
+  Process* self = this;
+  engine_.schedule(t, [self] { self->engine_.run_process(*self); });
+}
+
+Engine::~Engine() {
+  // Fibers are killed (stacks unwound) by Process destruction; make sure no
+  // process believes it is still the running one.
+  current_ = nullptr;
+}
+
+Process& Engine::spawn(std::string name, std::function<void(Process&)> body,
+                       Time start, std::size_t stack_bytes) {
+  const int id = static_cast<int>(processes_.size());
+  // The fiber body needs the Process*, which does not exist yet; capture via
+  // a shared slot filled right after construction.
+  auto slot = std::make_shared<Process*>(nullptr);
+  auto fiber_body = [slot, fn = std::move(body)] { fn(**slot); };
+  processes_.push_back(std::unique_ptr<Process>(
+      new Process(*this, id, std::move(name), std::move(fiber_body),
+                  stack_bytes)));
+  Process& p = *processes_.back();
+  *slot = &p;
+  p.resume_scheduled_ = true;
+  schedule(start, [this, &p] { run_process(p); });
+  return p;
+}
+
+void Engine::schedule(Time t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule an event in the virtual past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+  queue_drained_ = false;
+}
+
+void Engine::run_process(Process& p) {
+  assert(current_ == nullptr && "nested process execution");
+  if (p.state_ == Process::State::kFinished) return;
+  p.resume_scheduled_ = false;
+  p.state_ = Process::State::kRunning;
+  current_ = &p;
+  p.fiber_.resume();
+  current_ = nullptr;
+  if (p.fiber_.finished()) {
+    p.state_ = Process::State::kFinished;
+  }
+}
+
+Time Engine::run(Time until, const std::function<bool()>& stop_when) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.time > until) {
+      now_ = until;
+      return now_;
+    }
+    // Move the callback out before popping so it survives execution.
+    Event ev{top.time, top.seq, std::move(const_cast<Event&>(top).fn)};
+    queue_.pop();
+    now_ = ev.time;
+    ++events_executed_;
+    ev.fn();
+    if (stop_when && stop_when()) return now_;
+  }
+  queue_drained_ = true;
+  return now_;
+}
+
+std::size_t Engine::live_processes() const noexcept {
+  std::size_t n = 0;
+  for (const auto& p : processes_) {
+    if (!p->finished()) ++n;
+  }
+  return n;
+}
+
+bool Engine::deadlocked() const noexcept {
+  return queue_drained_ && live_processes() > 0;
+}
+
+}  // namespace nscc::sim

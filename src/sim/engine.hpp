@@ -1,0 +1,143 @@
+// Discrete-event simulation engine with process-oriented semantics.
+//
+// The engine owns a virtual clock and an event queue.  Simulated processors
+// are Process objects, each backed by a Fiber; exactly one process runs at a
+// time and every event execution is ordered by (time, sequence number), so a
+// whole simulation is deterministic given its seeds.
+//
+// Processes interact with virtual time through three verbs:
+//   * delay(dt)   — charge dt of computation, then continue;
+//   * suspend()   — block until some event calls resume();
+//   * finishing the body — the process is done.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/fiber.hpp"
+#include "sim/time.hpp"
+
+namespace nscc::sim {
+
+class Engine;
+
+class Process {
+ public:
+  enum class State { kReady, kRunning, kBlocked, kFinished };
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  [[nodiscard]] int id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] State state() const noexcept { return state_; }
+  [[nodiscard]] bool finished() const noexcept {
+    return state_ == State::kFinished;
+  }
+
+  /// Current virtual time (engine clock).  Valid from inside or outside.
+  [[nodiscard]] Time now() const noexcept;
+
+  /// Charge `dt` of virtual computation.  Must be called from inside the
+  /// process.  dt must be >= 0.
+  void delay(Time dt);
+
+  /// Block until another event resumes this process.  Must be called from
+  /// inside the process.
+  void suspend();
+
+  /// Make a blocked process runnable at virtual time `t` (>= now).  Must be
+  /// called from engine context (an event handler or another process... any
+  /// code outside this process).
+  void resume_at(Time t);
+
+  /// Resume at the current virtual time.
+  void resume() { resume_at(now()); }
+
+  Engine& engine() noexcept { return engine_; }
+
+ private:
+  friend class Engine;
+  Process(Engine& engine, int id, std::string name,
+          std::function<void()> body, std::size_t stack_bytes);
+
+  Engine& engine_;
+  int id_;
+  std::string name_;
+  State state_ = State::kReady;
+  bool resume_scheduled_ = false;
+  Fiber fiber_;
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Create a process whose body starts executing at virtual time `start`.
+  Process& spawn(std::string name, std::function<void(Process&)> body,
+                 Time start = 0,
+                 std::size_t stack_bytes = Fiber::kDefaultStackBytes);
+
+  /// Schedule a plain event callback at virtual time `t` (>= now).
+  void schedule(Time t, std::function<void()> fn);
+
+  /// Run until the event queue drains, the clock passes `until`, or
+  /// `stop_when` (checked after every event) returns true.  Returns the
+  /// final virtual time.
+  Time run(Time until = std::numeric_limits<Time>::max(),
+           const std::function<bool()>& stop_when = {});
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Number of spawned processes that have not finished.
+  [[nodiscard]] std::size_t live_processes() const noexcept;
+
+  /// True when run() drained the queue but live processes remain blocked —
+  /// i.e. the simulation deadlocked (e.g. a Global_Read that can never be
+  /// satisfied).
+  [[nodiscard]] bool deadlocked() const noexcept;
+
+  /// Total events executed (diagnostic).
+  [[nodiscard]] std::uint64_t events_executed() const noexcept {
+    return events_executed_;
+  }
+
+  [[nodiscard]] Process* current() noexcept { return current_; }
+
+ private:
+  friend class Process;
+
+  struct Event {
+    Time time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void run_process(Process& p);
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  Process* current_ = nullptr;
+  bool queue_drained_ = false;
+};
+
+}  // namespace nscc::sim

@@ -1,0 +1,60 @@
+#include "sim/fiber.hpp"
+
+#include <cassert>
+#include <cstdint>
+
+namespace nscc::sim {
+
+Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
+    : body_(std::move(body)), stack_(new char[stack_bytes]) {
+  getcontext(&context_);
+  context_.uc_stack.ss_sp = stack_.get();
+  context_.uc_stack.ss_size = stack_bytes;
+  context_.uc_link = &return_context_;
+  // makecontext only passes ints, so split the `this` pointer in two.
+  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+              static_cast<unsigned>(self >> 32),
+              static_cast<unsigned>(self & 0xffffffffu));
+}
+
+Fiber::~Fiber() { kill(); }
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  const auto self = (static_cast<std::uintptr_t>(hi) << 32) |
+                    static_cast<std::uintptr_t>(lo);
+  reinterpret_cast<Fiber*>(self)->run_body();
+}
+
+void Fiber::run_body() {
+  try {
+    body_();
+  } catch (const FiberKilled&) {
+    // Normal teardown path: the stack has been unwound.
+  }
+  finished_ = true;
+  // uc_link returns control to return_context_ (the engine).
+}
+
+void Fiber::resume() {
+  assert(!finished_ && "resuming a finished fiber");
+  started_ = true;
+  swapcontext(&return_context_, &context_);
+}
+
+void Fiber::yield() {
+  swapcontext(&context_, &return_context_);
+  if (killing_) throw FiberKilled{};
+}
+
+void Fiber::kill() {
+  if (finished_ || !started_) {
+    finished_ = true;
+    return;
+  }
+  killing_ = true;
+  resume();  // The fiber unwinds via FiberKilled and finishes.
+  assert(finished_);
+}
+
+}  // namespace nscc::sim

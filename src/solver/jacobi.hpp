@@ -1,0 +1,80 @@
+// Jacobi iteration, sequential baseline and simulated-parallel versions.
+//
+// x_i^{t+1} = (b_i - sum_{j != i} a_ij x_j^t) / a_ii.
+//
+// For strictly diagonally dominant systems the iteration contracts in the
+// infinity norm, and — the theoretical backbone of the paper's whole
+// programme — it remains convergent under *totally asynchronous* execution
+// with arbitrary (finite) staleness of the x_j it reads (Bertsekas &
+// Tsitsiklis [2], the paper's reference for partial asynchrony).  The
+// parallel version partitions rows in blocks across simulated nodes and
+// exchanges boundary values through the shared space in the three styles:
+//
+//   * kSynchronous  — barrier + Global_Read(age 0) each sweep;
+//   * kAsynchronous — plain reads of whatever neighbour values arrived;
+//   * kPartialAsync — Global_Read(age): bounded staleness, which both
+//     bounds the extra iterations asynchrony costs and licenses update
+//     coalescing on a congested network.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsm/shared_space.hpp"
+#include "rt/vm.hpp"
+#include "solver/linear_system.hpp"
+
+namespace nscc::solver {
+
+struct JacobiConfig {
+  double tolerance = 1e-8;      ///< Converged when ||b - Ax||_inf <= tol.
+  int max_sweeps = 20000;
+  int check_interval = 10;      ///< Residual checks every this many sweeps.
+  /// Virtual cost per nonzero processed (77 MHz-class node).
+  sim::Time cost_per_nonzero = 2 * sim::kMicrosecond;
+  /// Per-sweep fixed overhead per row block.
+  sim::Time sweep_overhead = 200 * sim::kMicrosecond;
+  std::uint64_t seed = 1;
+};
+
+struct JacobiResult {
+  bool converged = false;
+  int sweeps = 0;
+  double residual = 0.0;
+  double error_inf = 0.0;  ///< ||x - x_true||_inf when x_true is known.
+  sim::Time completion_time = 0;
+  std::vector<double> x;
+};
+
+/// Sequential Jacobi with virtual-time accounting.
+JacobiResult run_sequential_jacobi(const LinearSystem& sys,
+                                   const JacobiConfig& config);
+
+struct ParallelJacobiConfig : JacobiConfig {
+  dsm::Mode mode = dsm::Mode::kSynchronous;
+  dsm::Iteration age = 0;
+  int processors = 4;
+  /// Coalesce boundary updates (only meaningful for the staleness-tolerant
+  /// modes; the experiment drivers enable it for kPartialAsync).
+  bool coalesce = false;
+  /// OS-load model, as in the other applications.
+  double node_speed_spread = 0.15;
+  double per_sweep_jitter = 0.10;
+};
+
+struct ParallelJacobiResult : JacobiResult {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t global_read_blocks = 0;
+  sim::Time global_read_block_time = 0;
+  double mean_staleness = 0.0;
+  double bus_utilization = 0.0;
+  bool deadlocked = false;
+};
+
+/// Row-block parallel Jacobi on a fresh simulated machine.
+ParallelJacobiResult run_parallel_jacobi(const LinearSystem& sys,
+                                         const ParallelJacobiConfig& config,
+                                         rt::MachineConfig machine,
+                                         double loader_offered_bps = 0.0);
+
+}  // namespace nscc::solver

@@ -1,0 +1,121 @@
+// Compact bit vector used for GA chromosomes.
+//
+// Supports the operations the GA needs: random fill, point mutation,
+// one-point crossover splicing, hashing (for the sequential GA's software
+// fitness cache [19]), and sliced decoding to integers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nscc::util {
+
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t nbits)
+      : nbits_(nbits), words_((nbits + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return nbits_; }
+  [[nodiscard]] bool empty() const noexcept { return nbits_ == 0; }
+
+  [[nodiscard]] bool get(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void set(std::size_t i, bool v) noexcept {
+    const std::uint64_t mask = 1ULL << (i & 63);
+    if (v) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  void flip(std::size_t i) noexcept { words_[i >> 6] ^= 1ULL << (i & 63); }
+
+  [[nodiscard]] std::size_t popcount() const noexcept {
+    std::size_t n = 0;
+    for (std::uint64_t w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  void randomize(Xoshiro256& rng) noexcept {
+    for (auto& w : words_) w = rng();
+    mask_tail();
+  }
+
+  /// Extract `count` bits starting at `offset` as an unsigned integer
+  /// (bit `offset` is the least significant). count <= 64.
+  [[nodiscard]] std::uint64_t extract(std::size_t offset,
+                                      std::size_t count) const noexcept {
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      v |= static_cast<std::uint64_t>(get(offset + i)) << i;
+    }
+    return v;
+  }
+
+  /// One-point crossover: children get [0,point) from one parent and
+  /// [point,n) from the other.
+  static void crossover(const BitVec& a, const BitVec& b, std::size_t point,
+                        BitVec& child_a, BitVec& child_b) {
+    child_a = a;
+    child_b = b;
+    for (std::size_t i = point; i < a.size(); ++i) {
+      child_a.set(i, b.get(i));
+      child_b.set(i, a.get(i));
+    }
+  }
+
+  [[nodiscard]] std::uint64_t hash() const noexcept {
+    // FNV-1a over the words.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::uint64_t w : words_) {
+      h ^= w;
+      h *= 0x100000001b3ULL;
+    }
+    h ^= nbits_;
+    h *= 0x100000001b3ULL;
+    return h;
+  }
+
+  friend bool operator==(const BitVec& a, const BitVec& b) noexcept {
+    return a.nbits_ == b.nbits_ && a.words_ == b.words_;
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept {
+    return words_;
+  }
+
+  /// Serialized size in bytes (whole words, plus the bit count).
+  [[nodiscard]] std::size_t byte_size() const noexcept {
+    return words_.size() * sizeof(std::uint64_t) + sizeof(std::uint64_t);
+  }
+
+  /// Rebuild from raw words (used by message deserialization).
+  static BitVec from_words(std::size_t nbits, std::vector<std::uint64_t> words) {
+    BitVec v;
+    v.nbits_ = nbits;
+    v.words_ = std::move(words);
+    v.words_.resize((nbits + 63) / 64, 0);
+    v.mask_tail();
+    return v;
+  }
+
+ private:
+  void mask_tail() noexcept {
+    const std::size_t rem = nbits_ & 63;
+    if (rem != 0 && !words_.empty()) {
+      words_.back() &= (1ULL << rem) - 1;
+    }
+  }
+
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace nscc::util

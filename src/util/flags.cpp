@@ -1,0 +1,151 @@
+#include "util/flags.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+
+namespace nscc::util {
+
+Flags& Flags::add(const std::string& name, Kind kind, std::string def,
+                  const std::string& help) {
+  auto [it, inserted] = entries_.emplace(name, Entry{kind, std::move(def), help});
+  if (inserted) order_.push_back(name);
+  return *this;
+}
+
+Flags& Flags::add_int(const std::string& name, std::int64_t def,
+                      const std::string& help) {
+  return add(name, Kind::kInt, std::to_string(def), help);
+}
+
+Flags& Flags::add_double(const std::string& name, double def,
+                         const std::string& help) {
+  // std::to_string truncates to 6 fixed decimals (1e-7 -> "0.000000");
+  // round-trip via %g with full precision instead.
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", def);
+  return add(name, Kind::kDouble, buf, help);
+}
+
+Flags& Flags::add_bool(const std::string& name, bool def,
+                       const std::string& help) {
+  return add(name, Kind::kBool, def ? "true" : "false", help);
+}
+
+Flags& Flags::add_string(const std::string& name, const std::string& def,
+                         const std::string& help) {
+  return add(name, Kind::kString, def, help);
+}
+
+bool Flags::set(const std::string& name, const std::string& value) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return false;
+  switch (it->second.kind) {
+    case Kind::kInt:
+      try {
+        (void)std::stoll(value);
+      } catch (const std::exception&) {
+        return false;
+      }
+      break;
+    case Kind::kDouble:
+      try {
+        (void)std::stod(value);
+      } catch (const std::exception&) {
+        return false;
+      }
+      break;
+    case Kind::kBool:
+      if (value != "true" && value != "false" && value != "1" && value != "0") {
+        return false;
+      }
+      break;
+    case Kind::kString:
+      break;
+  }
+  it->second.value = value;
+  return true;
+}
+
+void Flags::apply_env_overrides() {
+  for (const auto& name : order_) {
+    std::string env = "NSCC_";
+    for (char c : name) {
+      env += (c == '-') ? '_' : static_cast<char>(std::toupper(c));
+    }
+    if (const char* v = std::getenv(env.c_str())) {
+      set(name, v);
+    }
+  }
+}
+
+bool Flags::parse(int argc, char** argv) {
+  apply_env_overrides();
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(argv[0]);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::cerr << "unexpected argument: " << arg << '\n';
+      print_usage(argv[0]);
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      auto it = entries_.find(name);
+      if (it != entries_.end() && it->second.kind == Kind::kBool) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::cerr << "missing value for --" << name << '\n';
+        return false;
+      }
+    }
+    if (!set(name, value)) {
+      std::cerr << "unknown or ill-formed flag: --" << name << "=" << value
+                << '\n';
+      print_usage(argv[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
+std::int64_t Flags::get_int(const std::string& name) const {
+  return std::stoll(entries_.at(name).value);
+}
+
+double Flags::get_double(const std::string& name) const {
+  return std::stod(entries_.at(name).value);
+}
+
+bool Flags::get_bool(const std::string& name) const {
+  const std::string& v = entries_.at(name).value;
+  return v == "true" || v == "1";
+}
+
+const std::string& Flags::get_string(const std::string& name) const {
+  return entries_.at(name).value;
+}
+
+void Flags::print_usage(const std::string& program) const {
+  std::cerr << "usage: " << program << " [flags]\n";
+  for (const auto& name : order_) {
+    const Entry& e = entries_.at(name);
+    std::cerr << "  --" << name << " (default: " << e.value << ")  " << e.help
+              << '\n';
+  }
+}
+
+}  // namespace nscc::util

@@ -1,0 +1,54 @@
+// Minimal command-line flag parsing for the bench/example binaries.
+//
+// Flags may be given as --name=value or --name value; bools accept bare
+// --name.  Each flag also honours an environment override NSCC_<NAME>
+// (upper-cased, dashes become underscores) so the whole bench suite can be
+// switched to the paper-scale protocol with a single env var.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nscc::util {
+
+class Flags {
+ public:
+  Flags& add_int(const std::string& name, std::int64_t def,
+                 const std::string& help);
+  Flags& add_double(const std::string& name, double def,
+                    const std::string& help);
+  Flags& add_bool(const std::string& name, bool def, const std::string& help);
+  Flags& add_string(const std::string& name, const std::string& def,
+                    const std::string& help);
+
+  /// Parse argv; returns false (after printing usage) on --help or on an
+  /// unknown/ill-formed flag.
+  bool parse(int argc, char** argv);
+
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+
+  void print_usage(const std::string& program) const;
+
+ private:
+  enum class Kind { kInt, kDouble, kBool, kString };
+  struct Entry {
+    Kind kind;
+    std::string value;
+    std::string help;
+  };
+
+  Flags& add(const std::string& name, Kind kind, std::string def,
+             const std::string& help);
+  bool set(const std::string& name, const std::string& value);
+  void apply_env_overrides();
+
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace nscc::util

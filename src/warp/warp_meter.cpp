@@ -1,0 +1,35 @@
+#include "warp/warp_meter.hpp"
+
+namespace nscc::warp {
+
+void WarpMeter::record(int receiver, int sender, sim::Time send_time,
+                       sim::Time arrival_time) {
+  const std::pair<int, int> key{receiver, sender};
+  Last& last = last_[key];
+  if (last.valid) {
+    const sim::Time dsend = send_time - last.send_time;
+    const sim::Time darrive = arrival_time - last.arrival_time;
+    if (dsend > 0) {
+      const double w =
+          static_cast<double>(darrive) / static_cast<double>(dsend);
+      overall_.add(w);
+      per_pair_[key].add(w);
+    }
+  }
+  last.send_time = send_time;
+  last.arrival_time = arrival_time;
+  last.valid = true;
+}
+
+util::RunningStats WarpMeter::pair(int receiver, int sender) const {
+  auto it = per_pair_.find({receiver, sender});
+  return it == per_pair_.end() ? util::RunningStats{} : it->second;
+}
+
+void WarpMeter::reset() {
+  last_.clear();
+  per_pair_.clear();
+  overall_.reset();
+}
+
+}  // namespace nscc::warp

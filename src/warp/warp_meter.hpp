@@ -1,0 +1,52 @@
+// Warp metric (Park [14], as used in the paper's Section 4.3).
+//
+// A warp sample at node i with respect to node j is the ratio of the
+// difference in arrival times of two consecutive messages from j to the
+// difference in their send times.  Warp ~= 1 on a stable network; values
+// much larger than 1 indicate rising load.  The runtime records a sample
+// for every delivered message, "above PVM", exactly as the paper measured.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "sim/time.hpp"
+#include "util/stats.hpp"
+
+namespace nscc::warp {
+
+class WarpMeter {
+ public:
+  /// Record a delivery at `receiver` of a message from `sender` that was
+  /// handed to the network at `send_time` and arrived at `arrival_time`.
+  void record(int receiver, int sender, sim::Time send_time,
+              sim::Time arrival_time);
+
+  /// Distribution of warp samples over all (receiver, sender) pairs.
+  [[nodiscard]] const util::RunningStats& overall() const noexcept {
+    return overall_;
+  }
+
+  /// Distribution for one directed pair; empty stats when never observed.
+  [[nodiscard]] util::RunningStats pair(int receiver, int sender) const;
+
+  [[nodiscard]] std::uint64_t samples() const noexcept {
+    return overall_.count();
+  }
+
+  void reset();
+
+ private:
+  struct Last {
+    sim::Time send_time = 0;
+    sim::Time arrival_time = 0;
+    bool valid = false;
+  };
+
+  std::map<std::pair<int, int>, Last> last_;
+  std::map<std::pair<int, int>, util::RunningStats> per_pair_;
+  util::RunningStats overall_;
+};
+
+}  // namespace nscc::warp

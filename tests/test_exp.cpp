@@ -1,0 +1,113 @@
+// Tests for the experiment drivers: the paper's protocol mechanics
+// (variant lists, quality-matched generation budgets, paper-style averages,
+// best-vs-best-competitor computation) on reduced workloads.
+#include <gtest/gtest.h>
+
+#include "exp/bayes_experiments.hpp"
+#include "exp/ga_experiments.hpp"
+
+namespace {
+
+nscc::exp::GaCellConfig tiny_cell() {
+  nscc::exp::GaCellConfig cfg;
+  cfg.function_id = 1;
+  cfg.processors = 2;
+  cfg.generations = 40;
+  cfg.reps = 1;
+  cfg.ages = {0, 10};
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(GaExperiments, CellProducesAllVariants) {
+  const auto cell = nscc::exp::run_ga_cell(tiny_cell());
+  ASSERT_EQ(cell.variants.size(), 5u);  // serial, sync, async, age0, age10.
+  EXPECT_EQ(cell.variants[0].name, "serial");
+  EXPECT_DOUBLE_EQ(cell.variant("serial").speedup, 1.0);
+  for (const auto& v : cell.variants) {
+    EXPECT_GT(v.mean_time_s, 0.0) << v.name;
+    EXPECT_GT(v.mean_generations, 0.0) << v.name;
+  }
+  EXPECT_THROW(cell.variant("nope"), std::out_of_range);
+}
+
+TEST(GaExperiments, BestPartialOverBestCompetitor) {
+  const auto cell = nscc::exp::run_ga_cell(tiny_cell());
+  double best_partial = 0.0;
+  double best_other = 0.0;
+  for (const auto& v : cell.variants) {
+    if (v.name.rfind("age", 0) == 0) {
+      best_partial = std::max(best_partial, v.speedup);
+    } else {
+      best_other = std::max(best_other, v.speedup);
+    }
+  }
+  EXPECT_NEAR(cell.best_partial_over_best_competitor(),
+              best_partial / best_other, 1e-12);
+}
+
+TEST(GaExperiments, AverageUsesSummedTimes) {
+  auto cfg = tiny_cell();
+  std::vector<nscc::exp::GaCellResult> cells;
+  cells.push_back(nscc::exp::run_ga_cell(cfg));
+  cfg.function_id = 3;
+  cells.push_back(nscc::exp::run_ga_cell(cfg));
+  const auto avg = nscc::exp::average_cells(cells);
+  ASSERT_EQ(avg.size(), cells.front().variants.size());
+  // Paper metric: sum of serial times over sum of variant times.
+  const double serial_sum = cells[0].variant("serial").sum_time_s +
+                            cells[1].variant("serial").sum_time_s;
+  const double sync_sum = cells[0].variant("sync").sum_time_s +
+                          cells[1].variant("sync").sum_time_s;
+  for (const auto& v : avg) {
+    if (v.name == "sync") {
+      EXPECT_NEAR(v.speedup, serial_sum / sync_sum, 1e-12);
+    }
+  }
+}
+
+TEST(GaExperiments, DeterministicCells) {
+  const auto a = nscc::exp::run_ga_cell(tiny_cell());
+  const auto b = nscc::exp::run_ga_cell(tiny_cell());
+  for (std::size_t i = 0; i < a.variants.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.variants[i].speedup, b.variants[i].speedup);
+  }
+}
+
+TEST(BayesExperiments, Table2RowsMatchStructure) {
+  const auto rows = nscc::exp::measure_table2(2, 21);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].name, "A");
+  EXPECT_EQ(rows[3].name, "Hailfinder");
+  for (const auto& row : rows) {
+    EXPECT_GE(row.nodes, 54);
+    EXPECT_GT(row.edge_cut_2way, 0);
+    EXPECT_GT(row.uniprocessor_time_s, 0.0);
+  }
+  // Table 2's qualitative facts: Hailfinder has by far the smallest cut
+  // and the smallest uniprocessor inference time.
+  EXPECT_LT(rows[3].edge_cut_2way, rows[0].edge_cut_2way / 2);
+  EXPECT_LT(rows[3].uniprocessor_time_s, rows[0].uniprocessor_time_s / 2);
+}
+
+TEST(BayesExperiments, CellVariantsAndAverage) {
+  nscc::exp::BayesCellConfig cfg;
+  cfg.reps = 1;
+  cfg.ages = {10};
+  cfg.seed = 21;
+  const auto nets = nscc::exp::table2_networks();
+  std::vector<nscc::exp::BayesCellResult> cells;
+  cells.push_back(nscc::exp::run_bayes_cell(nets[3], cfg));  // Hailfinder.
+  const auto& cell = cells[0];
+  ASSERT_EQ(cell.variants.size(), 4u);  // serial, sync, async, age10.
+  EXPECT_DOUBLE_EQ(cell.variant("serial").speedup, 1.0);
+  // The paper's ordering on the speculation-friendly network:
+  // sync < async < Global_Read.
+  EXPECT_LT(cell.variant("sync").speedup, cell.variant("async").speedup);
+  EXPECT_LT(cell.variant("async").speedup, cell.variant("age10").speedup);
+  const auto avg = nscc::exp::average_bayes_cells(cells);
+  ASSERT_EQ(avg.size(), 4u);
+  EXPECT_NEAR(avg[0].speedup, 1.0, 1e-12);
+}
+
+}  // namespace

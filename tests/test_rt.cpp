@@ -1,0 +1,317 @@
+// Tests for the PVM-like runtime: packet round-trips, send/recv semantics,
+// tag matching, blocking behaviour and timing, barrier correctness, warp
+// instrumentation, broadcast, and per-task statistics.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "rt/packet.hpp"
+#include "rt/vm.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using nscc::rt::kAnyTag;
+using nscc::rt::MachineConfig;
+using nscc::rt::Message;
+using nscc::rt::Packet;
+using nscc::rt::Task;
+using nscc::rt::VirtualMachine;
+using nscc::sim::Time;
+using nscc::sim::kMillisecond;
+
+MachineConfig fast_config(int ntasks) {
+  MachineConfig c;
+  c.ntasks = ntasks;
+  c.bus.propagation_delay = 0;
+  c.bus.frame_overhead_bytes = 0;
+  c.send_sw_overhead = 0;
+  c.recv_sw_overhead = 0;
+  return c;
+}
+
+TEST(Packet, RoundTripsAllTypes) {
+  Packet p;
+  p.pack_u8(7)
+      .pack_i32(-5)
+      .pack_u32(123u)
+      .pack_i64(-1234567890123LL)
+      .pack_u64(987654321ULL)
+      .pack_double(3.25)
+      .pack_string("hello")
+      .pack_u64_vec({1, 2, 3})
+      .pack_double_vec({0.5, -0.5});
+  EXPECT_EQ(p.unpack_u8(), 7);
+  EXPECT_EQ(p.unpack_i32(), -5);
+  EXPECT_EQ(p.unpack_u32(), 123u);
+  EXPECT_EQ(p.unpack_i64(), -1234567890123LL);
+  EXPECT_EQ(p.unpack_u64(), 987654321ULL);
+  EXPECT_DOUBLE_EQ(p.unpack_double(), 3.25);
+  EXPECT_EQ(p.unpack_string(), "hello");
+  EXPECT_EQ(p.unpack_u64_vec(), (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(p.unpack_double_vec(), (std::vector<double>{0.5, -0.5}));
+  EXPECT_TRUE(p.fully_consumed());
+}
+
+TEST(Packet, OverrunThrows) {
+  Packet p;
+  p.pack_i32(1);
+  (void)p.unpack_i32();
+  EXPECT_THROW((void)p.unpack_i32(), std::out_of_range);
+}
+
+TEST(Packet, RewindRereads) {
+  Packet p;
+  p.pack_i32(42);
+  EXPECT_EQ(p.unpack_i32(), 42);
+  p.rewind();
+  EXPECT_EQ(p.unpack_i32(), 42);
+}
+
+TEST(Packet, ByteSizeCountsPayload) {
+  Packet p;
+  p.pack_double(1.0);
+  p.pack_i32(2);
+  EXPECT_EQ(p.byte_size(), 12u);
+}
+
+TEST(Vm, PingPongDeliversPayload) {
+  VirtualMachine vm(fast_config(2));
+  std::string got;
+  vm.add_task("ping", [](Task& t) {
+    Packet p;
+    p.pack_string("marco");
+    t.send(1, 5, std::move(p));
+    Message reply = t.recv(6);
+    EXPECT_EQ(reply.payload.unpack_string(), "polo");
+  });
+  vm.add_task("pong", [&](Task& t) {
+    Message m = t.recv(5);
+    got = m.payload.unpack_string();
+    EXPECT_EQ(m.src, 0);
+    Packet p;
+    p.pack_string("polo");
+    t.send(0, 6, std::move(p));
+  });
+  vm.run();
+  EXPECT_FALSE(vm.deadlocked());
+  EXPECT_EQ(got, "marco");
+}
+
+TEST(Vm, RecvBlocksUntilMessageArrives) {
+  auto cfg = fast_config(2);
+  Time recv_time = -1;
+  VirtualMachine vm(cfg);
+  vm.add_task("receiver", [&](Task& t) {
+    (void)t.recv(1);
+    recv_time = t.now();
+  });
+  vm.add_task("sender", [](Task& t) {
+    t.compute(10 * kMillisecond);
+    t.send(0, 1, Packet{});
+  });
+  vm.run();
+  // Blocked for the sender's compute plus the (zero-overhead) wire time.
+  EXPECT_GE(recv_time, 10 * kMillisecond);
+  EXPECT_EQ(vm.task(0).stats().blocked_time, recv_time);
+}
+
+TEST(Vm, TagMatchingIsSelective) {
+  VirtualMachine vm(fast_config(2));
+  std::vector<int> order;
+  vm.add_task("receiver", [&](Task& t) {
+    Message b = t.recv(2);  // Skips the queued tag-1 message.
+    order.push_back(b.tag);
+    Message a = t.recv(1);
+    order.push_back(a.tag);
+  });
+  vm.add_task("sender", [](Task& t) {
+    t.send(0, 1, Packet{});
+    t.send(0, 2, Packet{});
+  });
+  vm.run();
+  EXPECT_FALSE(vm.deadlocked());
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(Vm, AnyTagReceivesInArrivalOrder) {
+  VirtualMachine vm(fast_config(2));
+  std::vector<int> tags;
+  vm.add_task("receiver", [&](Task& t) {
+    for (int i = 0; i < 3; ++i) tags.push_back(t.recv(kAnyTag).tag);
+  });
+  vm.add_task("sender", [](Task& t) {
+    for (int tag : {7, 9, 8}) t.send(0, tag, Packet{});
+  });
+  vm.run();
+  EXPECT_EQ(tags, (std::vector<int>{7, 9, 8}));
+}
+
+TEST(Vm, TryRecvDoesNotBlock) {
+  VirtualMachine vm(fast_config(2));
+  bool first_empty = false;
+  bool later_full = false;
+  vm.add_task("receiver", [&](Task& t) {
+    first_empty = !t.try_recv(1).has_value();
+    t.compute(20 * kMillisecond);
+    later_full = t.try_recv(1).has_value();
+  });
+  vm.add_task("sender", [](Task& t) { t.send(0, 1, Packet{}); });
+  vm.run();
+  EXPECT_TRUE(first_empty);
+  EXPECT_TRUE(later_full);
+}
+
+TEST(Vm, ProbeSeesQueuedMessage) {
+  VirtualMachine vm(fast_config(2));
+  bool probed = false;
+  vm.add_task("receiver", [&](Task& t) {
+    t.compute(5 * kMillisecond);
+    probed = t.probe(3);
+    (void)t.recv(3);
+  });
+  vm.add_task("sender", [](Task& t) { t.send(0, 3, Packet{}); });
+  vm.run();
+  EXPECT_TRUE(probed);
+}
+
+TEST(Vm, SelfSendDeliversLocally) {
+  VirtualMachine vm(fast_config(1));
+  int got = 0;
+  vm.add_task("solo", [&](Task& t) {
+    Packet p;
+    p.pack_i32(11);
+    t.send(0, 1, std::move(p));
+    got = t.recv(1).payload.unpack_i32();
+  });
+  vm.run();
+  EXPECT_EQ(got, 11);
+  EXPECT_EQ(vm.bus().stats().frames_sent, 0u);  // No wire traffic.
+}
+
+TEST(Vm, BarrierSynchronisesAllTasks) {
+  auto cfg = fast_config(4);
+  VirtualMachine vm(cfg);
+  std::vector<Time> after(4);
+  for (int i = 0; i < 4; ++i) {
+    vm.add_task("t" + std::to_string(i), [&after, i](Task& t) {
+      t.compute((i + 1) * 10 * kMillisecond);  // Skewed arrival.
+      t.barrier();
+      after[static_cast<std::size_t>(i)] = t.now();
+    });
+  }
+  vm.run();
+  EXPECT_FALSE(vm.deadlocked());
+  // Nobody may pass the barrier before the slowest task arrived.
+  for (int i = 0; i < 4; ++i) EXPECT_GE(after[static_cast<std::size_t>(i)], 40 * kMillisecond);
+}
+
+TEST(Vm, BarrierCostsMessages) {
+  auto cfg = fast_config(3);
+  VirtualMachine vm(cfg);
+  for (int i = 0; i < 3; ++i) {
+    vm.add_task("t" + std::to_string(i), [](Task& t) { t.barrier(); });
+  }
+  vm.run();
+  // 2 arrive + 2 release messages on the wire.
+  EXPECT_EQ(vm.bus().stats().frames_sent, 4u);
+}
+
+TEST(Vm, BroadcastReachesEveryoneElse) {
+  VirtualMachine vm(fast_config(4));
+  std::vector<int> received(4, 0);
+  vm.add_task("root", [](Task& t) {
+    Packet p;
+    p.pack_i32(99);
+    t.broadcast(4, p);
+  });
+  for (int i = 1; i < 4; ++i) {
+    vm.add_task("leaf" + std::to_string(i), [&received, i](Task& t) {
+      received[static_cast<std::size_t>(i)] = t.recv(4).payload.unpack_i32();
+    });
+  }
+  vm.run();
+  for (int i = 1; i < 4; ++i) EXPECT_EQ(received[static_cast<std::size_t>(i)], 99);
+}
+
+TEST(Vm, SoftwareOverheadsAreCharged) {
+  auto cfg = fast_config(2);
+  cfg.send_sw_overhead = 3 * kMillisecond;
+  cfg.recv_sw_overhead = 2 * kMillisecond;
+  VirtualMachine vm(cfg);
+  Time sender_done = -1;
+  Time receiver_done = -1;
+  vm.add_task("receiver", [&](Task& t) {
+    (void)t.recv(1);
+    receiver_done = t.now();
+  });
+  vm.add_task("sender", [&](Task& t) {
+    t.send(0, 1, Packet{});
+    sender_done = t.now();
+  });
+  vm.run();
+  EXPECT_EQ(sender_done, 3 * kMillisecond);
+  // Wire time zero bytes/overhead -> delivery at 3ms; +2ms recv overhead.
+  EXPECT_EQ(receiver_done, 5 * kMillisecond);
+}
+
+TEST(Vm, WarpMeterObservesSteadyTrafficAsUnity) {
+  auto cfg = fast_config(2);
+  VirtualMachine vm(cfg);
+  vm.add_task("receiver", [](Task& t) {
+    for (int i = 0; i < 10; ++i) (void)t.recv(1);
+  });
+  vm.add_task("sender", [](Task& t) {
+    for (int i = 0; i < 10; ++i) {
+      t.compute(10 * kMillisecond);
+      t.send(0, 1, Packet{});
+    }
+  });
+  vm.run();
+  ASSERT_GE(vm.warp_meter().samples(), 9u);
+  EXPECT_NEAR(vm.warp_meter().overall().mean(), 1.0, 1e-6);
+}
+
+TEST(Vm, StatsCountTraffic) {
+  VirtualMachine vm(fast_config(2));
+  vm.add_task("receiver", [](Task& t) { (void)t.recv(1); });
+  vm.add_task("sender", [](Task& t) {
+    Packet p;
+    p.pack_double_vec(std::vector<double>(10, 1.0));
+    t.send(0, 1, std::move(p));
+  });
+  vm.run();
+  EXPECT_EQ(vm.task(1).stats().messages_sent, 1u);
+  EXPECT_EQ(vm.task(1).stats().bytes_sent, 88u);
+  EXPECT_EQ(vm.task(0).stats().messages_received, 1u);
+}
+
+TEST(Vm, DeadlockDetectedWhenRecvNeverSatisfied) {
+  VirtualMachine vm(fast_config(2));
+  vm.add_task("stuck", [](Task& t) { (void)t.recv(42); });
+  vm.add_task("quiet", [](Task&) {});
+  vm.run();
+  EXPECT_TRUE(vm.deadlocked());
+}
+
+TEST(Vm, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    auto cfg = fast_config(3);
+    cfg.seed = 77;
+    VirtualMachine vm(cfg);
+    std::vector<std::uint64_t> draws;
+    for (int i = 0; i < 3; ++i) {
+      vm.add_task("t" + std::to_string(i), [&draws](Task& t) {
+        t.compute(static_cast<Time>(t.rng().below(1000)) * kMillisecond);
+        t.barrier();
+        draws.push_back(t.rng()());
+      });
+    }
+    vm.run();
+    return draws;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+// Tests for the warp metric (paper Section 4.3): definition on crafted
+// timestamp sequences, behaviour on stable vs increasingly loaded virtual
+// networks, per-pair bookkeeping, and reset.
+#include <gtest/gtest.h>
+
+#include "net/load_generator.hpp"
+#include "rt/vm.hpp"
+#include "warp/warp_meter.hpp"
+
+namespace {
+
+using nscc::sim::kMillisecond;
+using nscc::warp::WarpMeter;
+
+TEST(WarpMeter, DefinitionOnCraftedTimestamps) {
+  WarpMeter m;
+  // Sends 10ms apart; arrivals 10ms apart: warp = 1.
+  m.record(0, 1, 0, 5);
+  m.record(0, 1, 10, 15);
+  ASSERT_EQ(m.samples(), 1u);
+  EXPECT_DOUBLE_EQ(m.overall().mean(), 1.0);
+  // Next arrival is 30ms after the previous for a 10ms send gap: warp = 3.
+  m.record(0, 1, 20, 45);
+  EXPECT_EQ(m.samples(), 2u);
+  EXPECT_DOUBLE_EQ(m.overall().max(), 3.0);
+}
+
+TEST(WarpMeter, FirstMessagePerPairYieldsNoSample) {
+  WarpMeter m;
+  m.record(0, 1, 0, 1);
+  m.record(0, 2, 0, 1);
+  m.record(1, 0, 0, 1);
+  EXPECT_EQ(m.samples(), 0u);
+}
+
+TEST(WarpMeter, ZeroSendGapIgnored) {
+  WarpMeter m;
+  m.record(0, 1, 5, 10);
+  m.record(0, 1, 5, 12);  // Same send instant: ratio undefined, skipped.
+  EXPECT_EQ(m.samples(), 0u);
+}
+
+TEST(WarpMeter, PairsAreIndependent) {
+  WarpMeter m;
+  m.record(0, 1, 0, 0);
+  m.record(0, 2, 0, 0);
+  m.record(0, 1, 10, 10);   // Warp 1 for (0,1).
+  m.record(0, 2, 10, 40);   // Warp 4 for (0,2).
+  EXPECT_DOUBLE_EQ(m.pair(0, 1).mean(), 1.0);
+  EXPECT_DOUBLE_EQ(m.pair(0, 2).mean(), 4.0);
+  EXPECT_EQ(m.pair(2, 0).count(), 0u);  // Direction matters.
+}
+
+TEST(WarpMeter, ResetClearsEverything) {
+  WarpMeter m;
+  m.record(0, 1, 0, 0);
+  m.record(0, 1, 1, 1);
+  ASSERT_GT(m.samples(), 0u);
+  m.reset();
+  EXPECT_EQ(m.samples(), 0u);
+  m.record(0, 1, 2, 2);
+  EXPECT_EQ(m.samples(), 0u);  // History was dropped too.
+}
+
+TEST(WarpMeter, StableNetworkMeasuresUnity) {
+  nscc::rt::MachineConfig cfg;
+  cfg.ntasks = 2;
+  nscc::rt::VirtualMachine vm(cfg);
+  vm.add_task("recv", [](nscc::rt::Task& t) {
+    for (int i = 0; i < 50; ++i) (void)t.recv(1);
+  });
+  vm.add_task("send", [](nscc::rt::Task& t) {
+    for (int i = 0; i < 50; ++i) {
+      t.compute(20 * kMillisecond);
+      t.send(0, 1, nscc::rt::Packet{});
+    }
+  });
+  vm.run();
+  EXPECT_NEAR(vm.warp_meter().overall().mean(), 1.0, 0.01);
+}
+
+TEST(WarpMeter, RisingLoadPushesWarpAboveOne) {
+  nscc::rt::MachineConfig cfg;
+  cfg.ntasks = 2;
+  nscc::rt::VirtualMachine vm(cfg);
+  vm.add_task("recv", [](nscc::rt::Task& t) {
+    for (int i = 0; i < 200; ++i) (void)t.recv(1);
+  });
+  vm.add_task("send", [](nscc::rt::Task& t) {
+    for (int i = 0; i < 200; ++i) {
+      t.compute(10 * kMillisecond);
+      nscc::rt::Packet p;
+      p.pack_double_vec(std::vector<double>(64, 0.0));
+      t.send(0, 1, std::move(p));
+    }
+  });
+  // Overloading generator switches on mid-run: the queue starts growing,
+  // inter-arrival gaps stretch, warp rises above 1.
+  std::unique_ptr<nscc::net::LoadGenerator> gen;
+  vm.engine().schedule(nscc::sim::kSecond, [&] {
+    gen = std::make_unique<nscc::net::LoadGenerator>(
+        vm.engine(), vm.bus(),
+        nscc::net::LoadGeneratorConfig{.offered_bps = 11e6,
+                                       .frame_payload_bytes = 1024,
+                                       .poisson = true,
+                                       .seed = 3});
+  });
+  vm.run();
+  if (gen) gen->stop();
+  EXPECT_GT(vm.warp_meter().overall().mean(), 1.02);
+  EXPECT_GT(vm.warp_meter().overall().max(), 1.2);
+}
+
+}  // namespace
