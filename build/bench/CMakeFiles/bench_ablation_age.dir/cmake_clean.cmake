@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_age.dir/bench_ablation_age.cpp.o"
+  "CMakeFiles/bench_ablation_age.dir/bench_ablation_age.cpp.o.d"
+  "bench_ablation_age"
+  "bench_ablation_age.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_age.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

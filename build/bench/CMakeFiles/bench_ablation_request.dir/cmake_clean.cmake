@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_request.dir/bench_ablation_request.cpp.o"
+  "CMakeFiles/bench_ablation_request.dir/bench_ablation_request.cpp.o.d"
+  "bench_ablation_request"
+  "bench_ablation_request.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_request.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_adaptive_age.dir/bench_ext_adaptive_age.cpp.o"
+  "CMakeFiles/bench_ext_adaptive_age.dir/bench_ext_adaptive_age.cpp.o.d"
+  "bench_ext_adaptive_age"
+  "bench_ext_adaptive_age.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_adaptive_age.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_neural.dir/bench_ext_neural.cpp.o"
+  "CMakeFiles/bench_ext_neural.dir/bench_ext_neural.cpp.o.d"
+  "bench_ext_neural"
+  "bench_ext_neural.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_neural.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

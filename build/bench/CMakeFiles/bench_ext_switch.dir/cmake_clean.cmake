@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_switch.dir/bench_ext_switch.cpp.o"
+  "CMakeFiles/bench_ext_switch.dir/bench_ext_switch.cpp.o.d"
+  "bench_ext_switch"
+  "bench_ext_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

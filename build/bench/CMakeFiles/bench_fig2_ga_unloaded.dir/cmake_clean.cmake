@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_ga_unloaded.dir/bench_fig2_ga_unloaded.cpp.o"
+  "CMakeFiles/bench_fig2_ga_unloaded.dir/bench_fig2_ga_unloaded.cpp.o.d"
+  "bench_fig2_ga_unloaded"
+  "bench_fig2_ga_unloaded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_ga_unloaded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

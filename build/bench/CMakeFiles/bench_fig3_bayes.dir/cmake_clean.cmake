@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_bayes.dir/bench_fig3_bayes.cpp.o"
+  "CMakeFiles/bench_fig3_bayes.dir/bench_fig3_bayes.cpp.o.d"
+  "bench_fig3_bayes"
+  "bench_fig3_bayes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_bayes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

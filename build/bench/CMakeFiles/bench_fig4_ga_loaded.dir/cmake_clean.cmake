@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_ga_loaded.dir/bench_fig4_ga_loaded.cpp.o"
+  "CMakeFiles/bench_fig4_ga_loaded.dir/bench_fig4_ga_loaded.cpp.o.d"
+  "bench_fig4_ga_loaded"
+  "bench_fig4_ga_loaded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_ga_loaded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

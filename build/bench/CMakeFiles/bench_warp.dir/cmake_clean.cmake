@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_warp.dir/bench_warp.cpp.o"
+  "CMakeFiles/bench_warp.dir/bench_warp.cpp.o.d"
+  "bench_warp"
+  "bench_warp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_warp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

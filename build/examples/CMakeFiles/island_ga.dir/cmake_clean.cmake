@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/island_ga.dir/island_ga.cpp.o"
+  "CMakeFiles/island_ga.dir/island_ga.cpp.o.d"
+  "island_ga"
+  "island_ga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/island_ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

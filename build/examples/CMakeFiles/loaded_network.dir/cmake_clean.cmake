@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loaded_network.dir/loaded_network.cpp.o"
+  "CMakeFiles/loaded_network.dir/loaded_network.cpp.o.d"
+  "loaded_network"
+  "loaded_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loaded_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/neural_training.cpp" "examples/CMakeFiles/neural_training.dir/neural_training.cpp.o" "gcc" "examples/CMakeFiles/neural_training.dir/neural_training.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solver/CMakeFiles/nscc_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/nscc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/exp/CMakeFiles/nscc_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ga/CMakeFiles/nscc_ga.dir/DependInfo.cmake"
+  "/root/repo/build/src/bayes/CMakeFiles/nscc_bayes.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/nscc_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/nscc_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nscc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/warp/CMakeFiles/nscc_warp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nscc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nscc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

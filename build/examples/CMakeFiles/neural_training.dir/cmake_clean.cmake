@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neural_training.dir/neural_training.cpp.o"
+  "CMakeFiles/neural_training.dir/neural_training.cpp.o.d"
+  "neural_training"
+  "neural_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neural_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

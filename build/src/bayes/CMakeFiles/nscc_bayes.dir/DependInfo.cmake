@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bayes/generators.cpp" "src/bayes/CMakeFiles/nscc_bayes.dir/generators.cpp.o" "gcc" "src/bayes/CMakeFiles/nscc_bayes.dir/generators.cpp.o.d"
+  "/root/repo/src/bayes/logic_sampling.cpp" "src/bayes/CMakeFiles/nscc_bayes.dir/logic_sampling.cpp.o" "gcc" "src/bayes/CMakeFiles/nscc_bayes.dir/logic_sampling.cpp.o.d"
+  "/root/repo/src/bayes/network.cpp" "src/bayes/CMakeFiles/nscc_bayes.dir/network.cpp.o" "gcc" "src/bayes/CMakeFiles/nscc_bayes.dir/network.cpp.o.d"
+  "/root/repo/src/bayes/parallel_sampling.cpp" "src/bayes/CMakeFiles/nscc_bayes.dir/parallel_sampling.cpp.o" "gcc" "src/bayes/CMakeFiles/nscc_bayes.dir/parallel_sampling.cpp.o.d"
+  "/root/repo/src/bayes/partitioner.cpp" "src/bayes/CMakeFiles/nscc_bayes.dir/partitioner.cpp.o" "gcc" "src/bayes/CMakeFiles/nscc_bayes.dir/partitioner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsm/CMakeFiles/nscc_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/nscc_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nscc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nscc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nscc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/warp/CMakeFiles/nscc_warp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nscc_bayes.dir/generators.cpp.o"
+  "CMakeFiles/nscc_bayes.dir/generators.cpp.o.d"
+  "CMakeFiles/nscc_bayes.dir/logic_sampling.cpp.o"
+  "CMakeFiles/nscc_bayes.dir/logic_sampling.cpp.o.d"
+  "CMakeFiles/nscc_bayes.dir/network.cpp.o"
+  "CMakeFiles/nscc_bayes.dir/network.cpp.o.d"
+  "CMakeFiles/nscc_bayes.dir/parallel_sampling.cpp.o"
+  "CMakeFiles/nscc_bayes.dir/parallel_sampling.cpp.o.d"
+  "CMakeFiles/nscc_bayes.dir/partitioner.cpp.o"
+  "CMakeFiles/nscc_bayes.dir/partitioner.cpp.o.d"
+  "libnscc_bayes.a"
+  "libnscc_bayes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nscc_bayes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

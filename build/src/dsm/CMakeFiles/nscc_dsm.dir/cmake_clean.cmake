@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nscc_dsm.dir/shared_space.cpp.o"
+  "CMakeFiles/nscc_dsm.dir/shared_space.cpp.o.d"
+  "libnscc_dsm.a"
+  "libnscc_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nscc_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nscc_exp.dir/bayes_experiments.cpp.o"
+  "CMakeFiles/nscc_exp.dir/bayes_experiments.cpp.o.d"
+  "CMakeFiles/nscc_exp.dir/ga_experiments.cpp.o"
+  "CMakeFiles/nscc_exp.dir/ga_experiments.cpp.o.d"
+  "libnscc_exp.a"
+  "libnscc_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nscc_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ga/deme.cpp" "src/ga/CMakeFiles/nscc_ga.dir/deme.cpp.o" "gcc" "src/ga/CMakeFiles/nscc_ga.dir/deme.cpp.o.d"
+  "/root/repo/src/ga/functions.cpp" "src/ga/CMakeFiles/nscc_ga.dir/functions.cpp.o" "gcc" "src/ga/CMakeFiles/nscc_ga.dir/functions.cpp.o.d"
+  "/root/repo/src/ga/island.cpp" "src/ga/CMakeFiles/nscc_ga.dir/island.cpp.o" "gcc" "src/ga/CMakeFiles/nscc_ga.dir/island.cpp.o.d"
+  "/root/repo/src/ga/sequential.cpp" "src/ga/CMakeFiles/nscc_ga.dir/sequential.cpp.o" "gcc" "src/ga/CMakeFiles/nscc_ga.dir/sequential.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsm/CMakeFiles/nscc_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/nscc_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nscc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nscc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nscc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/warp/CMakeFiles/nscc_warp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

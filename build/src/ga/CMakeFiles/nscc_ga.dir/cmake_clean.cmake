@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nscc_ga.dir/deme.cpp.o"
+  "CMakeFiles/nscc_ga.dir/deme.cpp.o.d"
+  "CMakeFiles/nscc_ga.dir/functions.cpp.o"
+  "CMakeFiles/nscc_ga.dir/functions.cpp.o.d"
+  "CMakeFiles/nscc_ga.dir/island.cpp.o"
+  "CMakeFiles/nscc_ga.dir/island.cpp.o.d"
+  "CMakeFiles/nscc_ga.dir/sequential.cpp.o"
+  "CMakeFiles/nscc_ga.dir/sequential.cpp.o.d"
+  "libnscc_ga.a"
+  "libnscc_ga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nscc_ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/load_generator.cpp" "src/net/CMakeFiles/nscc_net.dir/load_generator.cpp.o" "gcc" "src/net/CMakeFiles/nscc_net.dir/load_generator.cpp.o.d"
+  "/root/repo/src/net/shared_bus.cpp" "src/net/CMakeFiles/nscc_net.dir/shared_bus.cpp.o" "gcc" "src/net/CMakeFiles/nscc_net.dir/shared_bus.cpp.o.d"
+  "/root/repo/src/net/switch_fabric.cpp" "src/net/CMakeFiles/nscc_net.dir/switch_fabric.cpp.o" "gcc" "src/net/CMakeFiles/nscc_net.dir/switch_fabric.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nscc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nscc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nscc_net.dir/load_generator.cpp.o"
+  "CMakeFiles/nscc_net.dir/load_generator.cpp.o.d"
+  "CMakeFiles/nscc_net.dir/shared_bus.cpp.o"
+  "CMakeFiles/nscc_net.dir/shared_bus.cpp.o.d"
+  "CMakeFiles/nscc_net.dir/switch_fabric.cpp.o"
+  "CMakeFiles/nscc_net.dir/switch_fabric.cpp.o.d"
+  "libnscc_net.a"
+  "libnscc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nscc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nscc_nn.dir/mlp.cpp.o"
+  "CMakeFiles/nscc_nn.dir/mlp.cpp.o.d"
+  "CMakeFiles/nscc_nn.dir/train.cpp.o"
+  "CMakeFiles/nscc_nn.dir/train.cpp.o.d"
+  "libnscc_nn.a"
+  "libnscc_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nscc_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nscc_rt.dir/vm.cpp.o"
+  "CMakeFiles/nscc_rt.dir/vm.cpp.o.d"
+  "libnscc_rt.a"
+  "libnscc_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nscc_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

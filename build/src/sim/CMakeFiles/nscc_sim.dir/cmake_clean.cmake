@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nscc_sim.dir/engine.cpp.o"
+  "CMakeFiles/nscc_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/nscc_sim.dir/fiber.cpp.o"
+  "CMakeFiles/nscc_sim.dir/fiber.cpp.o.d"
+  "libnscc_sim.a"
+  "libnscc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nscc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/jacobi.cpp" "src/solver/CMakeFiles/nscc_solver.dir/jacobi.cpp.o" "gcc" "src/solver/CMakeFiles/nscc_solver.dir/jacobi.cpp.o.d"
+  "/root/repo/src/solver/linear_system.cpp" "src/solver/CMakeFiles/nscc_solver.dir/linear_system.cpp.o" "gcc" "src/solver/CMakeFiles/nscc_solver.dir/linear_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsm/CMakeFiles/nscc_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/nscc_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nscc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nscc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nscc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/warp/CMakeFiles/nscc_warp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

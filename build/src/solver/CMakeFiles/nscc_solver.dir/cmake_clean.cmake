@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nscc_solver.dir/jacobi.cpp.o"
+  "CMakeFiles/nscc_solver.dir/jacobi.cpp.o.d"
+  "CMakeFiles/nscc_solver.dir/linear_system.cpp.o"
+  "CMakeFiles/nscc_solver.dir/linear_system.cpp.o.d"
+  "libnscc_solver.a"
+  "libnscc_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nscc_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

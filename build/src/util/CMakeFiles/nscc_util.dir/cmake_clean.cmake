@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nscc_util.dir/flags.cpp.o"
+  "CMakeFiles/nscc_util.dir/flags.cpp.o.d"
+  "CMakeFiles/nscc_util.dir/stats.cpp.o"
+  "CMakeFiles/nscc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/nscc_util.dir/table.cpp.o"
+  "CMakeFiles/nscc_util.dir/table.cpp.o.d"
+  "libnscc_util.a"
+  "libnscc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nscc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

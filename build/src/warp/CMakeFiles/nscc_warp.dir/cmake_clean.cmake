@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nscc_warp.dir/warp_meter.cpp.o"
+  "CMakeFiles/nscc_warp.dir/warp_meter.cpp.o.d"
+  "libnscc_warp.a"
+  "libnscc_warp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nscc_warp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
