@@ -9,6 +9,7 @@
 
 #include "dsm/shared_space.hpp"
 #include "net/load_generator.hpp"
+#include "obs/obs.hpp"
 #include "rt/vm.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
@@ -22,9 +23,11 @@ struct Outcome {
   double completion_s = 0.0;
 };
 
-Outcome run(bool coalesce, double load_mbps, int writes) {
+Outcome run(bool coalesce, double load_mbps, int writes,
+            const nscc::obs::Options& obs_options) {
   nscc::rt::MachineConfig cfg;
   cfg.ntasks = 2;
+  cfg.obs = obs_options;
   nscc::rt::VirtualMachine vm(cfg);
   Outcome out;
   vm.add_task("writer", [&](nscc::rt::Task& t) {
@@ -64,15 +67,19 @@ int main(int argc, char** argv) {
   nscc::util::Flags flags;
   flags.add_int("writes", 400, "updates the writer produces")
       .add_bool("csv", false, "also emit CSV");
+  nscc::obs::add_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
   const int writes = static_cast<int>(flags.get_int("writes"));
+  // Each traced run overwrites the outputs; the surviving files describe
+  // the last configuration (coalescing under the heaviest load).
+  const nscc::obs::Options obs_options = nscc::obs::options_from_flags(flags);
 
   nscc::util::Table table("Ablation A1 - sender-side update coalescing");
   table.columns({"bus load", "policy", "updates sent", "merged",
                  "completion s"});
   for (double load : {0.0, 4.0, 8.0}) {
     for (bool coalesce : {false, true}) {
-      const auto out = run(coalesce, load, writes);
+      const auto out = run(coalesce, load, writes, obs_options);
       table.row()
           .cell(nscc::util::format_double(load, 0) + " Mbps")
           .cell(coalesce ? "coalesce" : "immediate")

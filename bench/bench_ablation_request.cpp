@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "dsm/shared_space.hpp"
+#include "obs/obs.hpp"
 #include "rt/vm.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
@@ -24,9 +25,11 @@ struct Outcome {
 };
 
 /// Fast consumer reading a slow producer with age 2 (chronically starved).
-Outcome run_pair(nscc::dsm::GlobalReadImpl impl, int iterations) {
+Outcome run_pair(nscc::dsm::GlobalReadImpl impl, int iterations,
+                 const nscc::obs::Options& obs_options) {
   nscc::rt::MachineConfig cfg;
   cfg.ntasks = 2;
+  cfg.obs = obs_options;
   nscc::rt::VirtualMachine vm(cfg);
   Outcome out;
   vm.add_task("producer", [&](nscc::rt::Task& t) {
@@ -63,8 +66,11 @@ int main(int argc, char** argv) {
   nscc::util::Flags flags;
   flags.add_int("iterations", 400, "producer iterations")
       .add_bool("csv", false, "also emit CSV");
+  nscc::obs::add_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
   const int iters = static_cast<int>(flags.get_int("iterations"));
+  // The requesting run is traced last and wins the output files.
+  const nscc::obs::Options obs_options = nscc::obs::options_from_flags(flags);
 
   nscc::util::Table table(
       "Ablation A4 - waiting vs requesting Global_Read implementations");
@@ -73,7 +79,7 @@ int main(int argc, char** argv) {
   for (auto [label, impl] :
        {std::pair{"wait", nscc::dsm::GlobalReadImpl::kWait},
         {"request", nscc::dsm::GlobalReadImpl::kRequest}}) {
-    const auto out = run_pair(impl, iters);
+    const auto out = run_pair(impl, iters, obs_options);
     table.row()
         .cell(label)
         .cell(out.messages)

@@ -10,6 +10,7 @@
 
 #include "exp/ga_experiments.hpp"
 #include "net/load_generator.hpp"
+#include "obs/obs.hpp"
 #include "rt/vm.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
@@ -18,9 +19,11 @@ namespace {
 
 /// Mean warp of a probe stream (one sender, one receiver, fixed period)
 /// under `offered_mbps` of background load ramping up during the run.
-double probe_warp(double offered_mbps, bool ramp) {
+double probe_warp(double offered_mbps, bool ramp,
+                  const nscc::obs::Options& obs_options) {
   nscc::rt::MachineConfig cfg;
   cfg.ntasks = 2;
+  cfg.obs = obs_options;
   nscc::rt::VirtualMachine vm(cfg);
   constexpr int kMessages = 400;
   vm.add_task("probe-recv", [](nscc::rt::Task& t) {
@@ -63,19 +66,23 @@ int main(int argc, char** argv) {
   flags.add_int("generations", 120, "GA generations for the workload rows")
       .add_int("seed", 1, "base seed")
       .add_bool("csv", false, "also emit CSV");
+  nscc::obs::add_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+  // Each probe run overwrites the outputs; the ramp run (the one where warp
+  // actually spikes) is traced last and wins.
+  const nscc::obs::Options obs_options = nscc::obs::options_from_flags(flags);
 
   nscc::util::Table probe("Warp of a fixed-rate probe stream vs offered load");
   probe.columns({"background load", "mean warp", "interpretation"});
   for (double mbps : {0.0, 2.0, 5.0, 8.0}) {
-    const double w = probe_warp(mbps, false);
+    const double w = probe_warp(mbps, false, obs_options);
     probe.row()
         .cell(nscc::util::format_double(mbps, 1) + " Mbps steady")
         .cell(w, 3)
         .cell(w < 1.1 ? "stable" : "loaded");
   }
   {
-    const double w = probe_warp(2.0, true);
+    const double w = probe_warp(2.0, true, obs_options);
     probe.row()
         .cell("2 -> 11 Mbps ramp")
         .cell(w, 3)

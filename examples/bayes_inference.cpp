@@ -13,6 +13,7 @@
 
 #include "bayes/logic_sampling.hpp"
 #include "bayes/parallel_sampling.hpp"
+#include "obs/obs.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
@@ -48,7 +49,9 @@ int main(int argc, char** argv) {
   flags.add_int("age", 10, "Global_Read staleness bound")
       .add_int("iterations", 6000, "sampling iterations for parallel runs")
       .add_int("seed", 11, "random seed");
+  obs::add_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+  const obs::Options obs_options = obs::options_from_flags(flags);
 
   const auto net = figure1();
   // Query: P(coma = true | metastatic-cancer = true).
@@ -85,8 +88,12 @@ int main(int argc, char** argv) {
     cfg.age = age;
     cfg.iterations = static_cast<std::uint64_t>(flags.get_int("iterations"));
     cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    rt::MachineConfig machine;
+    // Trace/sample only the Global_Read variant (rollback instants show up
+    // on the per-node tracks).
+    if (mode == dsm::Mode::kPartialAsync) machine.obs = obs_options;
     const auto r =
-        bayes::run_parallel_logic_sampling(net, evidence, queries, cfg, {});
+        bayes::run_parallel_logic_sampling(net, evidence, queries, cfg, machine);
     table.row()
         .cell(label)
         .cell(r.estimates[0].probability, 3)

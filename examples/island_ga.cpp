@@ -6,10 +6,15 @@
 // counters that explain the differences.
 //
 //   $ ./examples/island_ga [--demes 8] [--generations 150] [--age 10]
+//
+// With --trace-out=trace.json / --metrics-out=metrics.csv the Global_Read
+// variant's run is traced (load trace.json in Perfetto / chrome://tracing)
+// and sampled into a virtual-time series.
 #include <cstdio>
 #include <iostream>
 
 #include "ga/island.hpp"
+#include "obs/obs.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
@@ -22,7 +27,9 @@ int main(int argc, char** argv) {
       .add_int("function", 6, "test function 1..8 (6 = Rastrigin)")
       .add_int("age", 10, "staleness bound for the Global_Read variant")
       .add_int("seed", 7, "random seed");
+  obs::add_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+  const obs::Options obs_options = obs::options_from_flags(flags);
 
   util::Table table("Island GA on " +
                     ga::test_function(static_cast<int>(flags.get_int("function")))
@@ -42,7 +49,11 @@ int main(int argc, char** argv) {
     cfg.generations = static_cast<int>(flags.get_int("generations"));
     cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
     cfg.propagation.coalesce = mode == dsm::Mode::kPartialAsync;
-    const auto r = ga::run_island_ga(cfg, {});
+    rt::MachineConfig machine;
+    // Observe only the Global_Read variant so --trace-out / --metrics-out
+    // capture exactly one run (the one the paper's mechanism is about).
+    if (mode == dsm::Mode::kPartialAsync) machine.obs = obs_options;
+    const auto r = ga::run_island_ga(cfg, machine);
     table.row()
         .cell(label)
         .cell(sim::to_seconds(r.completion_time), 2)

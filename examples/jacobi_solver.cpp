@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "obs/obs.hpp"
 #include "solver/jacobi.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
@@ -24,7 +25,9 @@ int main(int argc, char** argv) {
       .add_int("age", 10, "Global_Read staleness bound")
       .add_double("tolerance", 1e-7, "residual tolerance")
       .add_int("seed", 5, "random seed");
+  obs::add_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+  const obs::Options obs_options = obs::options_from_flags(flags);
 
   const auto sys = solver::make_poisson_2d(
       static_cast<int>(flags.get_int("grid")),
@@ -56,7 +59,10 @@ int main(int argc, char** argv) {
     cfg.check_interval = 25;
     cfg.coalesce = mode == dsm::Mode::kPartialAsync;
     cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
-    const auto r = solver::run_parallel_jacobi(sys, cfg, {});
+    rt::MachineConfig machine;
+    // Trace/sample only the Global_Read variant.
+    if (mode == dsm::Mode::kPartialAsync) machine.obs = obs_options;
+    const auto r = solver::run_parallel_jacobi(sys, cfg, machine);
     char residual[32];
     char error[32];
     std::snprintf(residual, sizeof residual, "%.2e", r.residual);

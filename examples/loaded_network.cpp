@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "ga/island.hpp"
+#include "obs/obs.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
@@ -21,7 +22,9 @@ int main(int argc, char** argv) {
   flags.add_int("generations", 120, "generations per deme")
       .add_int("demes", 4, "GA nodes (the paper used 4 + 2 loader nodes)")
       .add_int("seed", 3, "random seed");
+  obs::add_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+  const obs::Options obs_options = obs::options_from_flags(flags);
 
   util::Table table("Island GA (f1) vs background Ethernet load");
   table.columns({"load Mbps", "variant", "completion s", "bus util",
@@ -40,7 +43,11 @@ int main(int argc, char** argv) {
       cfg.generations = static_cast<int>(flags.get_int("generations"));
       cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
       cfg.propagation.coalesce = mode == dsm::Mode::kPartialAsync;
-      const auto r = ga::run_island_ga(cfg, {}, load_mbps * 1e6);
+      rt::MachineConfig machine;
+      // Each traced run overwrites the output files, so what remains is the
+      // Global_Read run under the heaviest load — the interesting one.
+      if (mode == dsm::Mode::kPartialAsync) machine.obs = obs_options;
+      const auto r = ga::run_island_ga(cfg, machine, load_mbps * 1e6);
       table.row()
           .cell(load_mbps, 1)
           .cell(label)

@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "nn/train.hpp"
+#include "obs/obs.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
@@ -19,7 +20,9 @@ int main(int argc, char** argv) {
       .add_int("steps", 500, "mini-batch steps per worker")
       .add_int("workers", 4, "worker nodes")
       .add_int("seed", 7, "random seed");
+  obs::add_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+  const obs::Options obs_options = obs::options_from_flags(flags);
 
   const auto data = nn::make_two_spirals(60, 0.02,
                                          static_cast<std::uint64_t>(
@@ -48,6 +51,8 @@ int main(int argc, char** argv) {
         {"Global_Read SGD", dsm::Mode::kPartialAsync, flags.get_int("age")}}) {
     cfg.mode = mode;
     cfg.age = age;
+    // Trace/sample only the Global_Read variant.
+    machine.obs = mode == dsm::Mode::kPartialAsync ? obs_options : obs::Options{};
     const auto r = nn::train_parallel(data, cfg, machine);
     table.row()
         .cell(label)

@@ -5,17 +5,27 @@
 // staleness of 3 iterations.  Watch the consumer block (receiver-driven
 // flow control) whenever it gets more than 3 iterations ahead.
 //
-//   $ ./examples/quickstart
+//   $ ./examples/quickstart [--trace-out=trace.json] [--metrics-out=m.csv]
 #include <cstdio>
+#include <iostream>
 
 #include "dsm/shared_space.hpp"
+#include "obs/obs.hpp"
 #include "rt/vm.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
 
 using namespace nscc;
 
-int main() {
+int main(int argc, char** argv) {
+  util::Flags flags;
+  obs::add_flags(flags);
+  if (!flags.parse(argc, argv)) return 1;
+
   rt::MachineConfig machine;
   machine.ntasks = 2;
+  machine.obs = obs::options_from_flags(flags);
+  machine.obs.enable = true;  // Always collect; the summary table reads it.
   rt::VirtualMachine vm(machine);
 
   constexpr dsm::LocationId kTemperature = 1;
@@ -58,7 +68,28 @@ int main() {
   });
 
   const sim::Time end = vm.run();
-  std::printf("simulation finished at t=%.3fs (deadlocked: %s)\n",
+  std::printf("simulation finished at t=%.3fs (deadlocked: %s)\n\n",
               sim::to_seconds(end), vm.deadlocked() ? "yes" : "no");
+
+  // End-of-run summary straight from the metrics registry: every layer
+  // published into it, so one table covers DSM, runtime, and network.
+  const obs::Registry& reg = vm.obs().registry();
+  const obs::Histogram* staleness = reg.find_histogram("dsm.staleness");
+  util::Table summary("Run metrics (from obs::Registry)");
+  summary.columns({"writes", "updates applied", "gr blocks", "block time s",
+                   "staleness mean", "msgs sent", "bus util"});
+  summary.row()
+      .cell(reg.counter_value("dsm.writes", 0))
+      .cell(reg.counter_value("dsm.updates_applied", 1))
+      .cell(reg.counter_value("dsm.global_read_blocks", 1))
+      .cell(static_cast<double>(
+                reg.counter_value("dsm.global_read_block_time_ns", 1)) /
+                1e9,
+            3)
+      .cell(staleness != nullptr ? staleness->mean() : 0.0, 2)
+      .cell(reg.counter_value("rt.messages_sent", 0) +
+            reg.counter_value("rt.messages_sent", 1))
+      .cell(reg.gauge_value("net.utilization"), 3);
+  summary.print(std::cout);
   return 0;
 }

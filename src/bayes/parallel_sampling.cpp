@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "net/load_generator.hpp"
+#include "obs/obs.hpp"
 #include "util/rng.hpp"
 
 namespace nscc::bayes {
@@ -415,6 +416,19 @@ ParallelInferenceResult run_parallel_logic_sampling(
         }
       };
 
+      // Rollback observability: the cascade counters publish through the
+      // machine registry and each rollback lands as a trace instant on this
+      // task's track (anti-message role, paper Section 3.2).
+      obs::Hub* hub =
+          task.vm().obs().active() ? &task.vm().obs() : nullptr;
+      obs::Counter* rollback_counter =
+          hub != nullptr ? &hub->registry().counter("bayes.rollbacks", me)
+                         : nullptr;
+      obs::Counter* resampled_counter =
+          hub != nullptr
+              ? &hub->registry().counter("bayes.nodes_resampled", me)
+              : nullptr;
+
       auto handle_rollbacks = [&] {
         while (!dirty.empty()) {
           auto it = dirty.begin();
@@ -432,6 +446,13 @@ ParallelInferenceResult run_parallel_logic_sampling(
           }
           ++out.rollbacks;
           ++out.rolled_back_iterations;
+          if (hub != nullptr) {
+            rollback_counter->inc();
+            resampled_counter->inc(affected.size());
+            hub->tracer().instant(me, "rollback", task.now(), "iter", t,
+                                  "resampled",
+                                  static_cast<std::int64_t>(affected.size()));
+          }
           if (!affected.empty()) {
             sample_nodes(t, affected);
             out.nodes_resampled += affected.size();

@@ -20,7 +20,34 @@ const char* mode_name(Mode m) noexcept {
 }
 
 SharedSpace::SharedSpace(rt::Task& task, PropagationPolicy policy)
-    : task_(task), policy_(policy) {}
+    : task_(task), policy_(policy) {
+  obs::Hub& hub = task.vm().obs();
+  if (hub.active()) {
+    obs_ = &hub;
+    staleness_hist_ = &hub.registry().histogram("dsm.staleness");
+    blocked_readers_ = &hub.registry().gauge("dsm.blocked_readers");
+    inflight_updates_ = &hub.registry().gauge("dsm.updates_inflight");
+  }
+}
+
+SharedSpace::~SharedSpace() {
+  if (obs_ == nullptr) return;
+  obs::Registry& reg = obs_->registry();
+  const int pid = task_.id();
+  reg.counter("dsm.writes", pid).inc(stats_.writes);
+  reg.counter("dsm.updates_sent", pid).inc(stats_.updates_sent);
+  reg.counter("dsm.updates_coalesced", pid).inc(stats_.updates_coalesced);
+  reg.counter("dsm.updates_applied", pid).inc(stats_.updates_applied);
+  reg.counter("dsm.updates_stale_dropped", pid)
+      .inc(stats_.updates_stale_dropped);
+  reg.counter("dsm.global_reads", pid).inc(stats_.global_reads);
+  reg.counter("dsm.global_read_blocks", pid).inc(stats_.global_read_blocks);
+  reg.counter("dsm.global_read_block_time_ns", pid)
+      .inc(static_cast<std::uint64_t>(stats_.global_read_block_time));
+  reg.counter("dsm.requests_sent", pid).inc(stats_.requests_sent);
+  reg.counter("dsm.hints_received", pid).inc(stats_.hints_received);
+  reg.counter("dsm.request_replies", pid).inc(stats_.request_replies);
+}
 
 void SharedSpace::declare_written(LocationId loc, std::vector<int> readers) {
   if (written_.count(loc) != 0 || read_from_.count(loc) != 0) {
@@ -48,13 +75,34 @@ void SharedSpace::send_update(LocationId loc, int reader, Iteration iteration,
   payload.pack_i64(iteration);
   payload.pack_packet(value);
 
+  if (obs_ != nullptr) {
+    obs_->tracer().instant(task_.id(), "dsm.update.send", task_.now(), "loc",
+                           loc, "reader", reader);
+    // Tail-dropped updates never report delivery, so under a bounded lossy
+    // bus the gauge over-counts by the drops; that is visible (and honest)
+    // in the time series rather than silently reconciled.
+    inflight_updates_->add(1.0);
+  }
+
   std::function<void()> after_delivery;
-  if (policy_.coalesce) {
+  if (policy_.coalesce || obs_ != nullptr) {
     // The follow-up hop must not touch a SharedSpace that has already been
-    // destroyed (its task body may finish while updates are on the wire).
+    // destroyed (its task body may finish while updates are on the wire);
+    // the hub and engine belong to the VirtualMachine and outlive delivery.
     std::weak_ptr<SharedSpace*> weak = alive_;
-    after_delivery = [weak, loc, reader] {
-      if (auto self = weak.lock()) (*self)->on_update_delivered(loc, reader);
+    obs::Hub* hub = obs_;
+    obs::Gauge* inflight = inflight_updates_;
+    sim::Engine* eng = &task_.vm().engine();
+    const bool coalesce = policy_.coalesce;
+    after_delivery = [weak, hub, inflight, eng, coalesce, loc, reader] {
+      if (hub != nullptr) {
+        inflight->add(-1.0);
+        hub->tracer().instant(reader, "dsm.update.deliver", eng->now(), "loc",
+                              loc);
+      }
+      if (coalesce) {
+        if (auto self = weak.lock()) (*self)->on_update_delivered(loc, reader);
+      }
     };
   }
   if (charge_cpu) {
@@ -87,6 +135,10 @@ void SharedSpace::write(LocationId loc, Iteration iteration, rt::Packet value) {
     throw std::logic_error("SharedSpace: write to a location not declared_written");
   }
   ++stats_.writes;
+  if (obs_ != nullptr) {
+    obs_->tracer().instant(task_.id(), "dsm.write", task_.now(), "loc", loc,
+                           "iter", iteration);
+  }
   // Any DSM entry point services pending read demands (user-level macros
   // share the process with the "daemon").
   drain_requests();
@@ -100,7 +152,13 @@ void SharedSpace::write(LocationId loc, Iteration iteration, rt::Packet value) {
     if (reader == task_.id()) continue;  // The local store is the update.
     auto& pr = it->second.per_reader.at(reader);
     if (policy_.coalesce && pr.in_flight) {
-      if (pr.has_pending) ++stats_.updates_coalesced;
+      if (pr.has_pending) {
+        ++stats_.updates_coalesced;
+        if (obs_ != nullptr) {
+          obs_->tracer().instant(task_.id(), "dsm.update.coalesce",
+                                 task_.now(), "loc", loc, "reader", reader);
+        }
+      }
       pr.has_pending = true;
       pr.pending_iteration = iteration;
       pr.pending_value = value;
@@ -133,8 +191,16 @@ void SharedSpace::apply_update(rt::Packet& payload) {
     v.valid = true;
     v.data = std::move(data);
     ++stats_.updates_applied;
+    if (obs_ != nullptr) {
+      obs_->tracer().instant(task_.id(), "dsm.update.apply", task_.now(),
+                             "loc", loc, "iter", iteration);
+    }
   } else {
     ++stats_.updates_stale_dropped;
+    if (obs_ != nullptr) {
+      obs_->tracer().instant(task_.id(), "dsm.update.stale", task_.now(),
+                             "loc", loc, "iter", iteration);
+    }
   }
 }
 
@@ -142,6 +208,10 @@ void SharedSpace::serve_request(rt::Packet& payload, int from) {
   const LocationId loc = payload.unpack_i32();
   const Iteration need = payload.unpack_i64();
   ++stats_.hints_received;
+  if (obs_ != nullptr) {
+    obs_->tracer().instant(task_.id(), "dsm.request.serve", task_.now(),
+                           "loc", loc, "from", from);
+  }
   auto it = written_.find(loc);
   if (it == written_.end()) return;  // Stale request for a location we lost.
   const Value& mine = local_.at(loc);
@@ -196,10 +266,15 @@ const SharedSpace::Value& SharedSpace::global_read(LocationId loc,
       rt::Packet req;
       req.pack_i32(loc);
       req.pack_i64(need);
+      if (obs_ != nullptr) {
+        obs_->tracer().instant(task_.id(), "dsm.request", task_.now(), "loc",
+                               loc, "need", need);
+      }
       task_.send(read_from_.at(loc), rt::kDsmRequestTag, std::move(req));
       ++stats_.requests_sent;
     }
     const sim::Time blocked_from = task_.now();
+    if (obs_ != nullptr) blocked_readers_->add(1.0);
     // Wait for DSM updates (to any location we read); each arrival may
     // freshen our copy.  This is the paper's "just wait until the required
     // update arrives" implementation.  A never-written location blocks
@@ -209,8 +284,17 @@ const SharedSpace::Value& SharedSpace::global_read(LocationId loc,
       apply_update(msg.payload);
     }
     stats_.global_read_block_time += task_.now() - blocked_from;
+    if (obs_ != nullptr) {
+      blocked_readers_->add(-1.0);
+      obs_->tracer().complete(task_.id(), "Global_Read", blocked_from,
+                              task_.now() - blocked_from, "loc", loc, "need",
+                              need);
+    }
   }
   stats_.staleness_on_read.add(static_cast<double>(curr_iter - v.iteration));
+  if (staleness_hist_ != nullptr) {
+    staleness_hist_->observe(static_cast<double>(curr_iter - v.iteration));
+  }
   v.data.rewind();
   return v;
 }

@@ -29,6 +29,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "rt/packet.hpp"
 #include "rt/vm.hpp"
 #include "sim/time.hpp"
@@ -80,6 +81,9 @@ struct DsmStats {
 class SharedSpace {
  public:
   explicit SharedSpace(rt::Task& task, PropagationPolicy policy = {});
+  /// Flushes DsmStats into the machine's metrics registry (labelled with
+  /// this task's id) when observability is active.
+  ~SharedSpace();
 
   SharedSpace(const SharedSpace&) = delete;
   SharedSpace& operator=(const SharedSpace&) = delete;
@@ -158,6 +162,12 @@ class SharedSpace {
   rt::Task& task_;
   PropagationPolicy policy_;
   UpdateObserver observer_;
+  /// Observability handles, resolved once at construction; null when the
+  /// machine's hub is inactive so every hot-path guard is one branch.
+  obs::Hub* obs_ = nullptr;
+  obs::Histogram* staleness_hist_ = nullptr;  ///< Machine-wide staleness.
+  obs::Gauge* blocked_readers_ = nullptr;
+  obs::Gauge* inflight_updates_ = nullptr;
   /// Liveness token: deferred-delivery callbacks hold a weak_ptr so they
   /// become no-ops once this SharedSpace is destroyed (e.g. its task body
   /// returned while updates were still on the wire).

@@ -37,6 +37,10 @@ bool SharedBus::transmit(
   if (config_.max_pending_frames != 0 &&
       pending_ >= config_.max_pending_frames) {
     ++stats_.frames_dropped;
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->instant(obs::kBusTrack, "bus.drop", engine_.now(), "bytes",
+                       payload_bytes);
+    }
     return false;
   }
 
@@ -51,6 +55,17 @@ bool SharedBus::transmit(
   stats_.payload_bytes += payload_bytes;
   stats_.wire_bytes += wire_bytes_for(payload_bytes);
   stats_.busy_time += tx;
+
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    // Frame occupancy as a span on the bus track; acquisition wait (medium
+    // contention) is surfaced both as the wait arg and a contend instant.
+    tracer_->complete(obs::kBusTrack, "bus.frame", start, tx, "bytes",
+                      payload_bytes, "wait_ns", start - now);
+    if (start > now) {
+      tracer_->instant(obs::kBusTrack, "bus.contend", now, "backlog_ns",
+                       start - now);
+    }
+  }
 
   if (start > now) {
     ++pending_;

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
 
@@ -82,9 +83,14 @@ class SharedBus {
   [[nodiscard]] const BusStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const BusConfig& config() const noexcept { return config_; }
 
+  /// Attach an event tracer: frames become spans on the bus track (with
+  /// queueing shown as a wait arg), contention and tail drops instants.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
  private:
   sim::Engine& engine_;
   BusConfig config_;
+  obs::Tracer* tracer_ = nullptr;
   sim::Time busy_until_ = 0;
   std::uint32_t pending_ = 0;
   BusStats stats_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 namespace nscc::net {
 
@@ -32,9 +33,24 @@ void SwitchFabric::transmit(
   stats_.payload_bytes += payload_bytes;
   stats_.tx_busy_time += wire;
 
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->complete(obs::kSwitchTrackBase + src, "switch.tx", tx_start, wire,
+                      "dst", dst, "bytes", payload_bytes);
+  }
+
   engine_.schedule(delivered_at, [cb = std::move(on_delivered), delivered_at] {
     cb(delivered_at);
   });
+}
+
+void SwitchFabric::set_tracer(obs::Tracer* tracer) noexcept {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) {
+    for (std::size_t p = 0; p < tx_busy_.size(); ++p) {
+      tracer_->set_track_name(obs::kSwitchTrackBase + static_cast<int>(p),
+                              "switch.port" + std::to_string(p));
+    }
+  }
 }
 
 double SwitchFabric::utilization() const {

@@ -15,6 +15,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
 
@@ -60,9 +61,14 @@ class SwitchFabric {
 
   [[nodiscard]] const SwitchStats& stats() const noexcept { return stats_; }
 
+  /// Attach an event tracer: TX-link occupancy becomes spans on a per-port
+  /// switch track.
+  void set_tracer(obs::Tracer* tracer) noexcept;
+
  private:
   sim::Engine& engine_;
   SwitchConfig config_;
+  obs::Tracer* tracer_ = nullptr;
   std::vector<sim::Time> tx_busy_;
   std::vector<sim::Time> rx_busy_;
   SwitchStats stats_;

@@ -1,0 +1,59 @@
+#include "obs/obs.hpp"
+
+#include "util/flags.hpp"
+
+namespace nscc::obs {
+
+Hub::Hub(Options options)
+    : options_(std::move(options)), tracer_(options_.trace_capacity) {
+  active_ = options_.enable || !options_.trace_path.empty() ||
+            !options_.metrics_path.empty();
+  tracer_.enable(options_.enable || !options_.trace_path.empty());
+}
+
+namespace {
+
+bool has_suffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+bool Hub::finalize() {
+  bool ok = true;
+  if (!options_.trace_path.empty()) {
+    ok = tracer_.write_chrome_json(options_.trace_path) && ok;
+  }
+  if (!options_.metrics_path.empty()) {
+    ok = (has_suffix(options_.metrics_path, ".json")
+              ? sampler_.write_json(options_.metrics_path)
+              : sampler_.write_csv(options_.metrics_path)) &&
+         ok;
+  }
+  return ok;
+}
+
+void add_flags(util::Flags& flags) {
+  flags
+      .add_string("trace-out", "",
+                  "write a Chrome trace-event JSON of the run here")
+      .add_string("metrics-out", "",
+                  "write the virtual-time metrics series here (CSV, or JSON "
+                  "with a .json suffix)")
+      .add_double("sample-interval", 50.0,
+                  "metrics sampling interval in virtual milliseconds");
+}
+
+Options options_from_flags(const util::Flags& flags) {
+  Options opts;
+  opts.trace_path = flags.get_string("trace-out");
+  opts.metrics_path = flags.get_string("metrics-out");
+  opts.sample_interval = static_cast<sim::Time>(
+      flags.get_double("sample-interval") *
+      static_cast<double>(sim::kMillisecond));
+  if (opts.sample_interval < 1) opts.sample_interval = 1;
+  return opts;
+}
+
+}  // namespace nscc::obs

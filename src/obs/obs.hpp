@@ -1,0 +1,77 @@
+// Observability hub: one object bundling the metrics registry, the event
+// tracer, and the virtual-time sampler, plus the driver-facing glue
+// (--trace-out / --metrics-out / --sample-interval flags).
+//
+// A VirtualMachine owns one Hub; every instrumented layer (engine, runtime,
+// DSM, network, applications) reaches it through the machine and guards all
+// work on the single `active()` bit, so a run with observability off pays
+// one predicted branch per instrumentation site and nothing else.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
+#include "sim/time.hpp"
+
+namespace nscc::util {
+class Flags;
+}  // namespace nscc::util
+
+namespace nscc::obs {
+
+struct Options {
+  /// Collect metrics/trace in memory even when no output path is set (for
+  /// tests and drivers that report through the registry directly).
+  bool enable = false;
+  /// Chrome trace-event JSON output path; empty disables tracing.
+  std::string trace_path;
+  /// Time-series output path; ".json" suffix selects JSON, anything else
+  /// CSV.  Empty disables the sampler file output.
+  std::string metrics_path;
+  /// Virtual time between metric samples.
+  sim::Time sample_interval = 50 * sim::kMillisecond;
+  /// Trace ring-buffer capacity in events (oldest are dropped on overflow).
+  std::size_t trace_capacity = 1 << 18;
+};
+
+class Hub {
+ public:
+  explicit Hub(Options options = {});
+
+  Hub(const Hub&) = delete;
+  Hub& operator=(const Hub&) = delete;
+
+  /// True when any collection is on; instrumentation sites check this once.
+  [[nodiscard]] bool active() const noexcept { return active_; }
+  [[nodiscard]] bool tracing() const noexcept { return tracer_.enabled(); }
+
+  [[nodiscard]] Registry& registry() noexcept { return registry_; }
+  [[nodiscard]] Tracer& tracer() noexcept { return tracer_; }
+  [[nodiscard]] Sampler& sampler() noexcept { return sampler_; }
+  [[nodiscard]] const Registry& registry() const noexcept { return registry_; }
+  [[nodiscard]] const Tracer& tracer() const noexcept { return tracer_; }
+  [[nodiscard]] const Sampler& sampler() const noexcept { return sampler_; }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+  /// Write the configured outputs (trace JSON, metrics time series).
+  /// Returns false if any configured file could not be written.
+  bool finalize();
+
+ private:
+  Options options_;
+  bool active_ = false;
+  Registry registry_;
+  Tracer tracer_;
+  Sampler sampler_;
+};
+
+/// Register the standard observability flags on a driver's flag set.
+void add_flags(util::Flags& flags);
+
+/// Build Options from flags registered by add_flags().
+[[nodiscard]] Options options_from_flags(const util::Flags& flags);
+
+}  // namespace nscc::obs

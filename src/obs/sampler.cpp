@@ -1,0 +1,66 @@
+#include "obs/sampler.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace nscc::obs {
+
+void Sampler::add_probe(std::string column, std::function<double()> probe) {
+  columns_.push_back(std::move(column));
+  probes_.push_back(std::move(probe));
+}
+
+void Sampler::sample_now(sim::Time t) {
+  Row row;
+  row.t = t;
+  row.values.reserve(probes_.size());
+  for (const auto& probe : probes_) row.values.push_back(probe());
+  rows_.push_back(std::move(row));
+}
+
+std::string Sampler::to_csv() const {
+  std::ostringstream os;
+  os << "time_ns,time_s";
+  for (const auto& c : columns_) os << ',' << c;
+  os << '\n';
+  for (const Row& r : rows_) {
+    os << r.t << ',' << sim::to_seconds(r.t);
+    for (double v : r.values) os << ',' << v;
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string Sampler::to_json() const {
+  std::ostringstream os;
+  os << "{\"columns\":[\"time_ns\",\"time_s\"";
+  for (const auto& c : columns_) os << ",\"" << c << '"';
+  os << "],\"rows\":[\n";
+  bool first = true;
+  for (const Row& r : rows_) {
+    if (!first) os << ",\n";
+    first = false;
+    os << '[' << r.t << ',' << sim::to_seconds(r.t);
+    for (double v : r.values) os << ',' << v;
+    os << ']';
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+bool Sampler::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_csv();
+  return static_cast<bool>(out);
+}
+
+bool Sampler::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json();
+  return static_cast<bool>(out);
+}
+
+}  // namespace nscc::obs

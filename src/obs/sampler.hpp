@@ -1,0 +1,54 @@
+// Virtual-time series sampler: snapshots a set of probes every N simulated
+// time units and exports CSV/JSON.
+//
+// The sampler does not inject events into the simulation (which would keep
+// a drained queue alive and confuse deadlock detection); instead the
+// engine's run loop calls sample_now() whenever the virtual clock crosses a
+// sampling boundary (see Engine::set_sampler), so samples land exactly at
+// multiples of the interval and reflect the state just before the first
+// event at-or-after each boundary.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace nscc::obs {
+
+class Sampler {
+ public:
+  /// Register a column; `probe` is called at every sample point.
+  void add_probe(std::string column, std::function<double()> probe);
+
+  /// Record one row at virtual time `t` (monotonically non-decreasing by
+  /// convention; the engine and end-of-run flush guarantee this).
+  void sample_now(sim::Time t);
+
+  struct Row {
+    sim::Time t = 0;
+    std::vector<double> values;
+  };
+
+  [[nodiscard]] const std::vector<std::string>& columns() const noexcept {
+    return columns_;
+  }
+  [[nodiscard]] const std::vector<Row>& rows() const noexcept { return rows_; }
+  [[nodiscard]] bool empty() const noexcept { return rows_.empty(); }
+
+  /// Header "time_ns,time_s,<col>..." then one row per sample.
+  [[nodiscard]] std::string to_csv() const;
+  [[nodiscard]] std::string to_json() const;
+  bool write_csv(const std::string& path) const;
+  bool write_json(const std::string& path) const;
+
+  void clear() noexcept { rows_.clear(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::function<double()>> probes_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace nscc::obs

@@ -1,0 +1,110 @@
+// Event tracer keyed by virtual time, exporting Chrome trace-event JSON.
+//
+// Instrumented code records spans ("X" complete events), instants ("i") and
+// counter samples ("C") against a simulated-process track id; the exporter
+// writes the trace-event format that chrome://tracing and Perfetto load,
+// with one named track per simulated processor (plus dedicated tracks for
+// the engine, the shared bus, and switch ports).
+//
+// Hot-path discipline: record() does no allocation and no formatting — it
+// copies POD into a preallocated ring buffer and `name`/arg names must be
+// string literals (they are stored as const char* and formatted only at
+// export time).  When the tracer is disabled every record call is a single
+// predicted branch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace nscc::obs {
+
+/// Track ids for shared infrastructure (simulated processors use their own
+/// small ids; these are chosen not to collide).
+inline constexpr int kEngineTrack = 990;
+inline constexpr int kBusTrack = 991;
+inline constexpr int kSwitchTrackBase = 1000;  ///< + port number.
+
+class Tracer {
+ public:
+  struct Event {
+    sim::Time ts = 0;        ///< Virtual ns.
+    sim::Time dur = 0;       ///< Complete events only.
+    const char* name = nullptr;
+    const char* a0_name = nullptr;  ///< Optional integer args.
+    const char* a1_name = nullptr;
+    std::int64_t a0 = 0;
+    std::int64_t a1 = 0;
+    std::int32_t tid = 0;
+    char phase = 'i';  ///< 'X' complete, 'i' instant, 'C' counter.
+  };
+
+  explicit Tracer(std::size_t capacity = 1 << 18);
+
+  void enable(bool on) noexcept { enabled_ = on; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// A span of virtual time [ts, ts+dur] on track `tid`.
+  void complete(int tid, const char* name, sim::Time ts, sim::Time dur,
+                const char* a0_name = nullptr, std::int64_t a0 = 0,
+                const char* a1_name = nullptr, std::int64_t a1 = 0) noexcept {
+    if (!enabled_) return;
+    push(Event{ts, dur, name, a0_name, a1_name, a0, a1, tid, 'X'});
+  }
+
+  /// A point event at virtual time `ts`.
+  void instant(int tid, const char* name, sim::Time ts,
+               const char* a0_name = nullptr, std::int64_t a0 = 0,
+               const char* a1_name = nullptr, std::int64_t a1 = 0) noexcept {
+    if (!enabled_) return;
+    push(Event{ts, 0, name, a0_name, a1_name, a0, a1, tid, 'i'});
+  }
+
+  /// A counter-track sample (renders as a filled area in Perfetto).
+  void counter(int tid, const char* name, sim::Time ts,
+               std::int64_t value) noexcept {
+    if (!enabled_) return;
+    push(Event{ts, 0, name, "value", nullptr, value, 0, tid, 'C'});
+  }
+
+  /// Human-readable track name emitted as thread_name metadata.
+  void set_track_name(int tid, std::string name);
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
+  /// Events overwritten because the ring filled (oldest are lost first).
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Events in record order, oldest first.
+  [[nodiscard]] std::vector<Event> events() const;
+
+  [[nodiscard]] std::string to_chrome_json() const;
+  /// Write to_chrome_json() to `path`; false on I/O failure.
+  bool write_chrome_json(const std::string& path) const;
+
+  void clear() noexcept;
+
+ private:
+  void push(const Event& e) noexcept {
+    ring_[head_] = e;
+    head_ = (head_ + 1) % ring_.size();
+    if (count_ < ring_.size()) {
+      ++count_;
+    } else {
+      ++dropped_;
+    }
+  }
+
+  bool enabled_ = false;
+  std::vector<Event> ring_;
+  std::size_t head_ = 0;   ///< Next write position.
+  std::size_t count_ = 0;  ///< Valid events in the ring.
+  std::uint64_t dropped_ = 0;
+  std::map<int, std::string> track_names_;
+};
+
+}  // namespace nscc::obs

@@ -41,6 +41,9 @@ void Task::send_observed(int dst, int tag, Packet payload,
       process_->suspend();
     }
     stats_.send_backpressure_time += now() - blocked_from;
+    vm_.obs_.tracer().complete(id_, "send.window_wait", blocked_from,
+                               now() - blocked_from, "bytes",
+                               static_cast<std::int64_t>(bytes));
   }
   if (!vm_.post(id_, dst, tag, std::move(payload), std::move(after_delivery))) {
     ++stats_.messages_dropped;
@@ -83,6 +86,8 @@ Message Task::recv(int tag) {
     const sim::Time blocked_from = now();
     process_->suspend();
     stats_.blocked_time += now() - blocked_from;
+    vm_.obs_.tracer().complete(id_, "recv.wait", blocked_from,
+                               now() - blocked_from, "tag", tag);
   }
 }
 
@@ -103,6 +108,8 @@ void Task::deliver(Message msg) {
   if (msg.src != id_) {
     vm_.warp_.record(id_, msg.src, msg.sent_at, msg.delivered_at);
   }
+  vm_.obs_.tracer().instant(id_, "msg.deliver", msg.delivered_at, "src",
+                            msg.src, "bytes", msg.payload.byte_size());
   mailbox_.push_back(std::move(msg));
   if (waiting_) {
     const Message& arrived = mailbox_.back();
@@ -149,6 +156,8 @@ bool VirtualMachine::post(int src, int dst, int tag, Packet payload,
   ++sender->stats_.messages_sent;
   sender->stats_.bytes_sent += payload_bytes;
   sender->in_flight_bytes_ += payload_bytes;
+  obs_.tracer().instant(src, "msg.send", engine_.now(), "dst", dst, "bytes",
+                        payload_bytes);
 
   // Runs at delivery: releases the sender's transport window and wakes it
   // if it is blocked in send().
@@ -195,7 +204,7 @@ double VirtualMachine::network_utilization() const noexcept {
 }
 
 VirtualMachine::VirtualMachine(MachineConfig config)
-    : config_(config), bus_(engine_, config.bus) {
+    : config_(config), obs_(config.obs), bus_(engine_, config.bus) {
   if (config_.ntasks < 1) {
     throw std::invalid_argument("VirtualMachine needs at least one task");
   }
@@ -203,6 +212,72 @@ VirtualMachine::VirtualMachine(MachineConfig config)
     switch_ = std::make_unique<net::SwitchFabric>(engine_, config_.ntasks,
                                                   config_.sp2_switch);
   }
+  if (obs_.active()) {
+    engine_.set_tracer(&obs_.tracer());
+    bus_.set_tracer(&obs_.tracer());
+    if (switch_) switch_->set_tracer(&obs_.tracer());
+    obs_.tracer().set_track_name(obs::kEngineTrack, "engine");
+    obs_.tracer().set_track_name(obs::kBusTrack, "bus");
+
+    // Virtual-time series probes (sampled every config.obs.sample_interval).
+    obs::Registry& reg = obs_.registry();
+    obs::Sampler& sampler = obs_.sampler();
+    sampler.add_probe("staleness_mean", [&reg] {
+      return reg.histogram("dsm.staleness").mean();
+    });
+    sampler.add_probe("blocked_readers", [&reg] {
+      return reg.gauge("dsm.blocked_readers").value();
+    });
+    sampler.add_probe("inflight_updates", [&reg] {
+      return reg.gauge("dsm.updates_inflight").value();
+    });
+    sampler.add_probe("warp_mean", [this] {
+      return warp_.samples() > 0 ? warp_.overall().mean() : 0.0;
+    });
+    sampler.add_probe("network_utilization",
+                      [this] { return network_utilization(); });
+    sampler.add_probe("events_executed", [this] {
+      return static_cast<double>(engine_.events_executed());
+    });
+    engine_.set_sampler(&sampler, config_.obs.sample_interval);
+  }
+}
+
+void VirtualMachine::flush_stats() {
+  obs::Registry& reg = obs_.registry();
+  for (const auto& t : tasks_) {
+    const TaskStats& s = t->stats_;
+    const int pid = t->id();
+    reg.counter("rt.messages_sent", pid).inc(s.messages_sent);
+    reg.counter("rt.bytes_sent", pid).inc(s.bytes_sent);
+    reg.counter("rt.messages_received", pid).inc(s.messages_received);
+    reg.counter("rt.messages_dropped", pid).inc(s.messages_dropped);
+    reg.counter("rt.backpressure_events", pid).inc(s.send_backpressure_events);
+    reg.counter("rt.compute_time_ns", pid)
+        .inc(static_cast<std::uint64_t>(s.compute_time));
+    reg.counter("rt.blocked_time_ns", pid)
+        .inc(static_cast<std::uint64_t>(s.blocked_time));
+    reg.counter("rt.backpressure_time_ns", pid)
+        .inc(static_cast<std::uint64_t>(s.send_backpressure_time));
+  }
+  const net::BusStats& bs = bus_.stats();
+  reg.counter("net.frames_sent").inc(bs.frames_sent);
+  reg.counter("net.frames_dropped").inc(bs.frames_dropped);
+  reg.counter("net.payload_bytes").inc(bs.payload_bytes);
+  reg.counter("net.wire_bytes").inc(bs.wire_bytes);
+  reg.counter("net.busy_time_ns").inc(static_cast<std::uint64_t>(bs.busy_time));
+  if (switch_) {
+    const net::SwitchStats& ss = switch_->stats();
+    reg.counter("net.switch.messages").inc(ss.messages);
+    reg.counter("net.switch.payload_bytes").inc(ss.payload_bytes);
+    reg.counter("net.switch.tx_busy_time_ns")
+        .inc(static_cast<std::uint64_t>(ss.tx_busy_time));
+  }
+  reg.gauge("net.utilization").set(network_utilization());
+  reg.gauge("warp.mean").set(warp_.samples() > 0 ? warp_.overall().mean()
+                                                 : 0.0);
+  reg.counter("warp.samples").inc(warp_.samples());
+  reg.counter("sim.events_executed").inc(engine_.events_executed());
 }
 
 void VirtualMachine::add_task(std::string name,
@@ -234,12 +309,18 @@ sim::Time VirtualMachine::run(sim::Time until) {
   }
   // Stop once every task body has returned, even if non-task event sources
   // (e.g. a background load generator) would keep the queue non-empty.
-  return engine_.run(until, [this] {
+  const sim::Time end = engine_.run(until, [this] {
     for (const auto& t : tasks_) {
       if (!t->process_->finished()) return false;
     }
     return true;
   });
+  if (obs_.active()) {
+    flush_stats();
+    obs_.sampler().sample_now(end);  // Final row at the completion time.
+    obs_.finalize();
+  }
+  return end;
 }
 
 }  // namespace nscc::rt

@@ -19,6 +19,7 @@
 
 #include "net/shared_bus.hpp"
 #include "net/switch_fabric.hpp"
+#include "obs/obs.hpp"
 #include "rt/packet.hpp"
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
@@ -69,6 +70,9 @@ struct MachineConfig {
   /// (queued or on the wire).  This is the backpressure that throttles a
   /// flooding sender once the shared medium falls behind.  0 = unlimited.
   std::uint64_t sender_window_bytes = 64 * 1024;
+  /// Observability outputs (tracing, metrics time series); off by default,
+  /// in which case every instrumentation site is a single predicted branch.
+  obs::Options obs;
 };
 
 struct TaskStats {
@@ -177,13 +181,21 @@ class VirtualMachine {
   /// Utilisation of whichever interconnect is active.
   [[nodiscard]] double network_utilization() const noexcept;
   [[nodiscard]] warp::WarpMeter& warp_meter() noexcept { return warp_; }
+  /// Observability hub (metrics registry, tracer, sampler).  run() flushes
+  /// every subsystem's counters into the registry and writes the configured
+  /// trace/metrics outputs before returning.
+  [[nodiscard]] obs::Hub& obs() noexcept { return obs_; }
+  [[nodiscard]] const obs::Hub& obs() const noexcept { return obs_; }
   [[nodiscard]] const MachineConfig& config() const noexcept { return config_; }
   [[nodiscard]] bool deadlocked() const noexcept { return engine_.deadlocked(); }
 
  private:
   friend class Task;
 
+  void flush_stats();
+
   MachineConfig config_;
+  obs::Hub obs_;
   sim::Engine engine_;
   net::SharedBus bus_;
   std::unique_ptr<net::SwitchFabric> switch_;  ///< Set for kSp2Switch.

@@ -17,6 +17,9 @@ Time Process::now() const noexcept { return engine_.now(); }
 void Process::delay(Time dt) {
   assert(engine_.current() == this && "delay() called from outside the process");
   assert(dt >= 0);
+  if (obs::Tracer* tr = engine_.tracer(); tr != nullptr && tr->enabled()) {
+    tr->complete(id_, "compute", engine_.now(), dt);
+  }
   state_ = State::kBlocked;
   resume_scheduled_ = true;
   Process* self = this;
@@ -60,6 +63,10 @@ Process& Engine::spawn(std::string name, std::function<void(Process&)> body,
                   stack_bytes)));
   Process& p = *processes_.back();
   *slot = &p;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->set_track_name(id, p.name());
+    tracer_->instant(obs::kEngineTrack, "spawn", now_, "pid", id);
+  }
   p.resume_scheduled_ = true;
   schedule(start, [this, &p] { run_process(p); });
   return p;
@@ -94,8 +101,19 @@ Time Engine::run(Time until, const std::function<bool()>& stop_when) {
     // Move the callback out before popping so it survives execution.
     Event ev{top.time, top.seq, std::move(const_cast<Event&>(top).fn)};
     queue_.pop();
+    if (sampler_ != nullptr) {
+      while (next_sample_at_ <= ev.time) {
+        now_ = next_sample_at_;
+        sampler_->sample_now(next_sample_at_);
+        next_sample_at_ += sampler_interval_;
+      }
+    }
     now_ = ev.time;
     ++events_executed_;
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->complete(obs::kEngineTrack, "dispatch", now_, 0, "seq",
+                        static_cast<std::int64_t>(ev.seq));
+    }
     ev.fn();
     if (stop_when && stop_when()) return now_;
   }

@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
 #include "sim/fiber.hpp"
 #include "sim/time.hpp"
 
@@ -114,6 +116,23 @@ class Engine {
 
   [[nodiscard]] Process* current() noexcept { return current_; }
 
+  /// Attach an event tracer (nullptr detaches).  When attached and enabled,
+  /// the engine records a zero-duration dispatch span per executed event on
+  /// the engine track, names each spawned process's track, and processes
+  /// record their delay() intervals as compute spans.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+  [[nodiscard]] obs::Tracer* tracer() noexcept { return tracer_; }
+
+  /// Attach a metrics sampler: the run loop calls sampler->sample_now(t) at
+  /// every multiple of `interval` the virtual clock crosses (before the
+  /// first event at-or-after the boundary executes).  The sampler never
+  /// injects events, so it cannot keep a drained queue alive.
+  void set_sampler(obs::Sampler* sampler, Time interval) noexcept {
+    sampler_ = sampler;
+    sampler_interval_ = interval > 0 ? interval : 1;
+    next_sample_at_ = now_ + sampler_interval_;
+  }
+
  private:
   friend class Process;
 
@@ -138,6 +157,10 @@ class Engine {
   std::vector<std::unique_ptr<Process>> processes_;
   Process* current_ = nullptr;
   bool queue_drained_ = false;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Sampler* sampler_ = nullptr;
+  Time sampler_interval_ = 0;
+  Time next_sample_at_ = 0;
 };
 
 }  // namespace nscc::sim

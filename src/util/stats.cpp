@@ -10,6 +10,7 @@ void RunningStats::add(double x) noexcept {
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(n_);
   m2_ += delta * (x - mean_);
+  sum_ += x;
   min_ = std::min(min_, x);
   max_ = std::max(max_, x);
 }
@@ -36,6 +37,7 @@ void RunningStats::merge(const RunningStats& other) noexcept {
   const double total = na + nb;
   mean_ += delta * nb / total;
   m2_ += other.m2_ + delta * delta * na * nb / total;
+  sum_ += other.sum_;
   n_ += other.n_;
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);

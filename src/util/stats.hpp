@@ -25,7 +25,9 @@ class RunningStats {
   [[nodiscard]] double sem() const noexcept;
   [[nodiscard]] double min() const noexcept { return min_; }
   [[nodiscard]] double max() const noexcept { return max_; }
-  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+  /// True running sum (accumulated directly, not reconstructed as mean * n,
+  /// which loses precision once n is large).
+  [[nodiscard]] double sum() const noexcept { return sum_; }
 
   void merge(const RunningStats& other) noexcept;
   void reset() noexcept { *this = RunningStats{}; }
@@ -34,6 +36,7 @@ class RunningStats {
   std::size_t n_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
+  double sum_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
 };

@@ -410,6 +410,78 @@ TEST(SharedSpace, StatsTrackBlocksAndStaleness) {
   EXPECT_DOUBLE_EQ(snap.staleness_on_read.max(), 2.0);
 }
 
+TEST(SharedSpace, RequestImplCountsDemandTraffic) {
+  // kRequest path counters: a reader that blocks issues a demand
+  // (requests_sent); the writer sees it as a starvation hint
+  // (hints_received) and, if it already holds a fresh-enough copy when it
+  // drains the request, resends it (request_replies).
+  //
+  // The writer stores iteration 0 immediately, so when the reader's demand
+  // (need = 0) is drained during the writer's later poll(), the copy
+  // qualifies and a demand-driven resend goes out.  Default (non-zeroed)
+  // network costs keep the update in flight at t=0, so the reader's
+  // Global_Read genuinely blocks and sends the request.
+  MachineConfig cfg;
+  cfg.ntasks = 2;
+  VirtualMachine vm(cfg);
+  nscc::dsm::DsmStats writer_stats;
+  nscc::dsm::DsmStats reader_stats;
+  vm.add_task("writer", [&](Task& t) {
+    SharedSpace dsm(t);
+    dsm.declare_written(7, {1});
+    dsm.write(7, 0, value_of(1.0));
+    t.compute(100 * kMillisecond);  // Request arrives while we sleep...
+    dsm.poll();                     // ...and is served here.
+    writer_stats = dsm.stats();
+  });
+  vm.add_task("reader", [&](Task& t) {
+    SharedSpace dsm(t, PropagationPolicy{
+                           .coalesce = false,
+                           .read_impl = nscc::dsm::GlobalReadImpl::kRequest});
+    dsm.declare_read(7, 0);
+    (void)dsm.global_read(7, 0, 0);
+    t.compute(200 * kMillisecond);  // Outlive the writer's reply.
+    dsm.poll();                     // Absorb the (stale) demand resend.
+    reader_stats = dsm.stats();
+  });
+  vm.run();
+  ASSERT_FALSE(vm.deadlocked());
+  EXPECT_EQ(reader_stats.requests_sent, 1u);
+  EXPECT_EQ(reader_stats.global_read_blocks, 1u);
+  EXPECT_EQ(writer_stats.hints_received, 1u);
+  EXPECT_EQ(writer_stats.request_replies, 1u);
+  // The resend carries iteration 0 again; the reader already has it.
+  EXPECT_EQ(reader_stats.updates_stale_dropped, 1u);
+}
+
+TEST(SharedSpace, WaitImplSendsNoRequests) {
+  MachineConfig cfg;
+  cfg.ntasks = 2;
+  VirtualMachine vm(cfg);
+  nscc::dsm::DsmStats writer_stats;
+  nscc::dsm::DsmStats reader_stats;
+  vm.add_task("writer", [&](Task& t) {
+    SharedSpace dsm(t);
+    dsm.declare_written(7, {1});
+    dsm.write(7, 0, value_of(1.0));
+    t.compute(100 * kMillisecond);
+    dsm.poll();
+    writer_stats = dsm.stats();
+  });
+  vm.add_task("reader", [&](Task& t) {
+    SharedSpace dsm(t);  // Default policy: GlobalReadImpl::kWait.
+    dsm.declare_read(7, 0);
+    (void)dsm.global_read(7, 0, 0);
+    reader_stats = dsm.stats();
+  });
+  vm.run();
+  ASSERT_FALSE(vm.deadlocked());
+  EXPECT_EQ(reader_stats.global_read_blocks, 1u);
+  EXPECT_EQ(reader_stats.requests_sent, 0u);
+  EXPECT_EQ(writer_stats.hints_received, 0u);
+  EXPECT_EQ(writer_stats.request_replies, 0u);
+}
+
 TEST(SharedSpace, GlobalReadUnsatisfiableDeadlocksDetectably) {
   VirtualMachine vm(fast_config(2));
   vm.add_task("writer", [](Task& t) {

@@ -110,6 +110,35 @@ TEST(Stats, RunningStatsBasics) {
   EXPECT_DOUBLE_EQ(s.sum(), 40.0);
 }
 
+TEST(Stats, SumIsExactNotReconstructedFromMean) {
+  // Regression: sum() used to return mean() * n, which drifts once the mean
+  // itself carries rounding error.  Accumulate values whose running mean is
+  // not representable and check the sum stays exact (integers summed in
+  // doubles are exact well past this range).
+  RunningStats s;
+  double exact = 0.0;
+  for (int i = 1; i <= 10007; ++i) {
+    const double x = static_cast<double>(i % 97) + 1.0 / 3.0;
+    s.add(x);
+    exact += x;
+  }
+  EXPECT_DOUBLE_EQ(s.sum(), exact);
+  // mean * n is only close; sum() must be the accumulated value itself.
+  EXPECT_NEAR(s.sum(), s.mean() * static_cast<double>(s.count()), 1e-6);
+}
+
+TEST(Stats, MergePreservesSum) {
+  RunningStats a;
+  RunningStats b;
+  for (double x : {1.5, 2.5, 3.0}) a.add(x);
+  for (double x : {10.0, 20.0}) b.add(x);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.sum(), 37.0);
+  RunningStats empty;
+  empty.merge(a);  // Merge into a default-constructed accumulator.
+  EXPECT_DOUBLE_EQ(empty.sum(), 37.0);
+}
+
 TEST(Stats, MergeMatchesCombinedStream) {
   nscc::util::Xoshiro256 rng(31);
   RunningStats a;

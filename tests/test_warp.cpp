@@ -51,6 +51,33 @@ TEST(WarpMeter, PairsAreIndependent) {
   EXPECT_EQ(m.pair(2, 0).count(), 0u);  // Direction matters.
 }
 
+TEST(WarpMeter, PairIsDirectedNotSymmetric) {
+  WarpMeter m;
+  // Traffic 1 -> 0 with warp 2; traffic 0 -> 1 with warp 1.  The directed
+  // pair (receiver, sender) must keep the two streams apart even though
+  // they connect the same two nodes.
+  m.record(0, 1, 0, 0);
+  m.record(0, 1, 10, 20);  // Arrival gap 20 over send gap 10: warp 2.
+  m.record(1, 0, 0, 0);
+  m.record(1, 0, 10, 10);  // Warp 1.
+  EXPECT_EQ(m.pair(0, 1).count(), 1u);
+  EXPECT_DOUBLE_EQ(m.pair(0, 1).mean(), 2.0);
+  EXPECT_EQ(m.pair(1, 0).count(), 1u);
+  EXPECT_DOUBLE_EQ(m.pair(1, 0).mean(), 1.0);
+}
+
+TEST(WarpMeter, NeverObservedPairReturnsEmptyStats) {
+  WarpMeter m;
+  m.record(0, 1, 0, 0);
+  m.record(0, 1, 5, 5);
+  const auto stats = m.pair(3, 4);  // No such traffic ever recorded.
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 0.0);
+  // Asking must not create state: the meter still has exactly one sample.
+  EXPECT_EQ(m.samples(), 1u);
+}
+
 TEST(WarpMeter, ResetClearsEverything) {
   WarpMeter m;
   m.record(0, 1, 0, 0);
