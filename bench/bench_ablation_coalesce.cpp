@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "dsm/shared_space.hpp"
+#include "fault/fault.hpp"
 #include "net/load_generator.hpp"
 #include "obs/obs.hpp"
 #include "rt/vm.hpp"
@@ -24,10 +25,14 @@ struct Outcome {
 };
 
 Outcome run(bool coalesce, double load_mbps, int writes,
-            const nscc::obs::Options& obs_options) {
+            const nscc::obs::Options& obs_options,
+            const nscc::fault::FaultPlan& fault_plan,
+            nscc::sim::Time read_timeout) {
   nscc::rt::MachineConfig cfg;
   cfg.ntasks = 2;
   cfg.obs = obs_options;
+  cfg.fault = fault_plan;
+  cfg.transport.enabled = !fault_plan.empty();
   nscc::rt::VirtualMachine vm(cfg);
   Outcome out;
   vm.add_task("writer", [&](nscc::rt::Task& t) {
@@ -44,7 +49,7 @@ Outcome run(bool coalesce, double load_mbps, int writes,
     out.coalesced = space.stats().updates_coalesced;
   });
   vm.add_task("reader", [&](nscc::rt::Task& t) {
-    nscc::dsm::SharedSpace space(t);
+    nscc::dsm::SharedSpace space(t, {.read_timeout = read_timeout});
     space.declare_read(1, 0);
     // Wait until the final value (or a fresher one) arrives.
     (void)space.global_read(1, writes - 1, 0);
@@ -68,8 +73,12 @@ int main(int argc, char** argv) {
   flags.add_int("writes", 400, "updates the writer produces")
       .add_bool("csv", false, "also emit CSV");
   nscc::obs::add_flags(flags);
+  nscc::fault::add_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
   const int writes = static_cast<int>(flags.get_int("writes"));
+  const nscc::fault::FaultPlan fault_plan = nscc::fault::plan_from_flags(flags);
+  const nscc::sim::Time read_timeout =
+      nscc::fault::read_timeout_from_flags(flags);
   // Each traced run overwrites the outputs; the surviving files describe
   // the last configuration (coalescing under the heaviest load).
   const nscc::obs::Options obs_options = nscc::obs::options_from_flags(flags);
@@ -79,7 +88,8 @@ int main(int argc, char** argv) {
                  "completion s"});
   for (double load : {0.0, 4.0, 8.0}) {
     for (bool coalesce : {false, true}) {
-      const auto out = run(coalesce, load, writes, obs_options);
+      const auto out =
+          run(coalesce, load, writes, obs_options, fault_plan, read_timeout);
       table.row()
           .cell(nscc::util::format_double(load, 0) + " Mbps")
           .cell(coalesce ? "coalesce" : "immediate")

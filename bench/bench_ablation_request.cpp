@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "dsm/shared_space.hpp"
+#include "fault/fault.hpp"
 #include "obs/obs.hpp"
 #include "rt/vm.hpp"
 #include "util/flags.hpp"
@@ -26,10 +27,14 @@ struct Outcome {
 
 /// Fast consumer reading a slow producer with age 2 (chronically starved).
 Outcome run_pair(nscc::dsm::GlobalReadImpl impl, int iterations,
-                 const nscc::obs::Options& obs_options) {
+                 const nscc::obs::Options& obs_options,
+                 const nscc::fault::FaultPlan& fault_plan,
+                 nscc::sim::Time read_timeout) {
   nscc::rt::MachineConfig cfg;
   cfg.ntasks = 2;
   cfg.obs = obs_options;
+  cfg.fault = fault_plan;
+  cfg.transport.enabled = !fault_plan.empty();
   nscc::rt::VirtualMachine vm(cfg);
   Outcome out;
   vm.add_task("producer", [&](nscc::rt::Task& t) {
@@ -45,7 +50,9 @@ Outcome run_pair(nscc::dsm::GlobalReadImpl impl, int iterations,
     out.replies = space.stats().request_replies;
   });
   vm.add_task("consumer", [&](nscc::rt::Task& t) {
-    nscc::dsm::SharedSpace space(t, {.coalesce = false, .read_impl = impl});
+    nscc::dsm::SharedSpace space(t, {.coalesce = false,
+                                     .read_impl = impl,
+                                     .read_timeout = read_timeout});
     space.declare_read(1, 0);
     for (int i = 0; i < iterations; ++i) {
       (void)space.global_read(1, i, 2);
@@ -67,10 +74,14 @@ int main(int argc, char** argv) {
   flags.add_int("iterations", 400, "producer iterations")
       .add_bool("csv", false, "also emit CSV");
   nscc::obs::add_flags(flags);
+  nscc::fault::add_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
   const int iters = static_cast<int>(flags.get_int("iterations"));
   // The requesting run is traced last and wins the output files.
   const nscc::obs::Options obs_options = nscc::obs::options_from_flags(flags);
+  const nscc::fault::FaultPlan fault_plan = nscc::fault::plan_from_flags(flags);
+  const nscc::sim::Time read_timeout =
+      nscc::fault::read_timeout_from_flags(flags);
 
   nscc::util::Table table(
       "Ablation A4 - waiting vs requesting Global_Read implementations");
@@ -79,7 +90,8 @@ int main(int argc, char** argv) {
   for (auto [label, impl] :
        {std::pair{"wait", nscc::dsm::GlobalReadImpl::kWait},
         {"request", nscc::dsm::GlobalReadImpl::kRequest}}) {
-    const auto out = run_pair(impl, iters, obs_options);
+    const auto out =
+        run_pair(impl, iters, obs_options, fault_plan, read_timeout);
     table.row()
         .cell(label)
         .cell(out.messages)

@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "exp/ga_experiments.hpp"
+#include "fault/fault.hpp"
 #include "net/load_generator.hpp"
 #include "obs/obs.hpp"
 #include "rt/vm.hpp"
@@ -20,10 +21,13 @@ namespace {
 /// Mean warp of a probe stream (one sender, one receiver, fixed period)
 /// under `offered_mbps` of background load ramping up during the run.
 double probe_warp(double offered_mbps, bool ramp,
-                  const nscc::obs::Options& obs_options) {
+                  const nscc::obs::Options& obs_options,
+                  const nscc::fault::FaultPlan& fault_plan) {
   nscc::rt::MachineConfig cfg;
   cfg.ntasks = 2;
   cfg.obs = obs_options;
+  cfg.fault = fault_plan;
+  cfg.transport.enabled = !fault_plan.empty();
   nscc::rt::VirtualMachine vm(cfg);
   constexpr int kMessages = 400;
   vm.add_task("probe-recv", [](nscc::rt::Task& t) {
@@ -67,22 +71,24 @@ int main(int argc, char** argv) {
       .add_int("seed", 1, "base seed")
       .add_bool("csv", false, "also emit CSV");
   nscc::obs::add_flags(flags);
+  nscc::fault::add_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
   // Each probe run overwrites the outputs; the ramp run (the one where warp
   // actually spikes) is traced last and wins.
   const nscc::obs::Options obs_options = nscc::obs::options_from_flags(flags);
+  const nscc::fault::FaultPlan fault_plan = nscc::fault::plan_from_flags(flags);
 
   nscc::util::Table probe("Warp of a fixed-rate probe stream vs offered load");
   probe.columns({"background load", "mean warp", "interpretation"});
   for (double mbps : {0.0, 2.0, 5.0, 8.0}) {
-    const double w = probe_warp(mbps, false, obs_options);
+    const double w = probe_warp(mbps, false, obs_options, fault_plan);
     probe.row()
         .cell(nscc::util::format_double(mbps, 1) + " Mbps steady")
         .cell(w, 3)
         .cell(w < 1.1 ? "stable" : "loaded");
   }
   {
-    const double w = probe_warp(2.0, true, obs_options);
+    const double w = probe_warp(2.0, true, obs_options, fault_plan);
     probe.row()
         .cell("2 -> 11 Mbps ramp")
         .cell(w, 3)

@@ -13,6 +13,7 @@
 
 #include "bayes/logic_sampling.hpp"
 #include "bayes/parallel_sampling.hpp"
+#include "fault/fault.hpp"
 #include "obs/obs.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
@@ -50,8 +51,10 @@ int main(int argc, char** argv) {
       .add_int("iterations", 6000, "sampling iterations for parallel runs")
       .add_int("seed", 11, "random seed");
   obs::add_flags(flags);
+  fault::add_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
   const obs::Options obs_options = obs::options_from_flags(flags);
+  const fault::FaultPlan fault_plan = fault::plan_from_flags(flags);
 
   const auto net = figure1();
   // Query: P(coma = true | metastatic-cancer = true).
@@ -88,7 +91,10 @@ int main(int argc, char** argv) {
     cfg.age = age;
     cfg.iterations = static_cast<std::uint64_t>(flags.get_int("iterations"));
     cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    cfg.read_timeout = fault::read_timeout_from_flags(flags);
     rt::MachineConfig machine;
+    machine.fault = fault_plan;
+    machine.transport.enabled = !fault_plan.empty();
     // Trace/sample only the Global_Read variant (rollback instants show up
     // on the per-node tracks).
     if (mode == dsm::Mode::kPartialAsync) machine.obs = obs_options;

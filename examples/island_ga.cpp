@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "fault/fault.hpp"
 #include "ga/island.hpp"
 #include "obs/obs.hpp"
 #include "util/flags.hpp"
@@ -28,8 +29,10 @@ int main(int argc, char** argv) {
       .add_int("age", 10, "staleness bound for the Global_Read variant")
       .add_int("seed", 7, "random seed");
   obs::add_flags(flags);
+  fault::add_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
   const obs::Options obs_options = obs::options_from_flags(flags);
+  const fault::FaultPlan fault_plan = fault::plan_from_flags(flags);
 
   util::Table table("Island GA on " +
                     ga::test_function(static_cast<int>(flags.get_int("function")))
@@ -49,7 +52,10 @@ int main(int argc, char** argv) {
     cfg.generations = static_cast<int>(flags.get_int("generations"));
     cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
     cfg.propagation.coalesce = mode == dsm::Mode::kPartialAsync;
+    cfg.propagation.read_timeout = fault::read_timeout_from_flags(flags);
     rt::MachineConfig machine;
+    machine.fault = fault_plan;
+    machine.transport.enabled = !fault_plan.empty();
     // Observe only the Global_Read variant so --trace-out / --metrics-out
     // capture exactly one run (the one the paper's mechanism is about).
     if (mode == dsm::Mode::kPartialAsync) machine.obs = obs_options;

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "fault/fault.hpp"
 #include "obs/obs.hpp"
 #include "solver/jacobi.hpp"
 #include "util/flags.hpp"
@@ -26,8 +27,10 @@ int main(int argc, char** argv) {
       .add_double("tolerance", 1e-7, "residual tolerance")
       .add_int("seed", 5, "random seed");
   obs::add_flags(flags);
+  fault::add_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
   const obs::Options obs_options = obs::options_from_flags(flags);
+  const fault::FaultPlan fault_plan = fault::plan_from_flags(flags);
 
   const auto sys = solver::make_poisson_2d(
       static_cast<int>(flags.get_int("grid")),
@@ -59,7 +62,10 @@ int main(int argc, char** argv) {
     cfg.check_interval = 25;
     cfg.coalesce = mode == dsm::Mode::kPartialAsync;
     cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    cfg.read_timeout = fault::read_timeout_from_flags(flags);
     rt::MachineConfig machine;
+    machine.fault = fault_plan;
+    machine.transport.enabled = !fault_plan.empty();
     // Trace/sample only the Global_Read variant.
     if (mode == dsm::Mode::kPartialAsync) machine.obs = obs_options;
     const auto r = solver::run_parallel_jacobi(sys, cfg, machine);

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "fault/fault.hpp"
 #include "ga/island.hpp"
 #include "obs/obs.hpp"
 #include "util/flags.hpp"
@@ -23,8 +24,10 @@ int main(int argc, char** argv) {
       .add_int("demes", 4, "GA nodes (the paper used 4 + 2 loader nodes)")
       .add_int("seed", 3, "random seed");
   obs::add_flags(flags);
+  fault::add_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
   const obs::Options obs_options = obs::options_from_flags(flags);
+  const fault::FaultPlan fault_plan = fault::plan_from_flags(flags);
 
   util::Table table("Island GA (f1) vs background Ethernet load");
   table.columns({"load Mbps", "variant", "completion s", "bus util",
@@ -43,7 +46,10 @@ int main(int argc, char** argv) {
       cfg.generations = static_cast<int>(flags.get_int("generations"));
       cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
       cfg.propagation.coalesce = mode == dsm::Mode::kPartialAsync;
+      cfg.propagation.read_timeout = fault::read_timeout_from_flags(flags);
       rt::MachineConfig machine;
+      machine.fault = fault_plan;
+      machine.transport.enabled = !fault_plan.empty();
       // Each traced run overwrites the output files, so what remains is the
       // Global_Read run under the heaviest load — the interesting one.
       if (mode == dsm::Mode::kPartialAsync) machine.obs = obs_options;

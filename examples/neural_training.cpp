@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "fault/fault.hpp"
 #include "nn/train.hpp"
 #include "obs/obs.hpp"
 #include "util/flags.hpp"
@@ -21,8 +22,10 @@ int main(int argc, char** argv) {
       .add_int("workers", 4, "worker nodes")
       .add_int("seed", 7, "random seed");
   obs::add_flags(flags);
+  fault::add_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
   const obs::Options obs_options = obs::options_from_flags(flags);
+  const fault::FaultPlan fault_plan = fault::plan_from_flags(flags);
 
   const auto data = nn::make_two_spirals(60, 0.02,
                                          static_cast<std::uint64_t>(
@@ -31,6 +34,7 @@ int main(int argc, char** argv) {
   cfg.steps = static_cast<int>(flags.get_int("steps"));
   cfg.workers = static_cast<int>(flags.get_int("workers"));
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  cfg.read_timeout = fault::read_timeout_from_flags(flags);
 
   const auto serial = nn::train_sequential(data, cfg);
   std::printf("serial: loss %.4f, accuracy %.2f, %.2fs virtual\n",
@@ -39,6 +43,8 @@ int main(int argc, char** argv) {
 
   rt::MachineConfig machine;
   machine.network = rt::Network::kSp2Switch;
+  machine.fault = fault_plan;
+  machine.transport.enabled = !fault_plan.empty();
 
   util::Table table("Two-spirals MLP, " +
                     std::to_string(flags.get_int("workers")) +

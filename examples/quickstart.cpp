@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "dsm/shared_space.hpp"
+#include "fault/fault.hpp"
 #include "obs/obs.hpp"
 #include "rt/vm.hpp"
 #include "util/flags.hpp"
@@ -20,12 +21,17 @@ using namespace nscc;
 int main(int argc, char** argv) {
   util::Flags flags;
   obs::add_flags(flags);
+  fault::add_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
 
   rt::MachineConfig machine;
   machine.ntasks = 2;
   machine.obs = obs::options_from_flags(flags);
   machine.obs.enable = true;  // Always collect; the summary table reads it.
+  machine.fault = fault::plan_from_flags(flags);
+  machine.transport.enabled = !machine.fault.empty();
+  dsm::PropagationPolicy reader_policy;
+  reader_policy.read_timeout = fault::read_timeout_from_flags(flags);
   rt::VirtualMachine vm(machine);
 
   constexpr dsm::LocationId kTemperature = 1;
@@ -45,8 +51,8 @@ int main(int argc, char** argv) {
     }
   });
 
-  vm.add_task("consumer", [](rt::Task& task) {
-    dsm::SharedSpace space(task);
+  vm.add_task("consumer", [reader_policy](rt::Task& task) {
+    dsm::SharedSpace space(task, reader_policy);
     space.declare_read(kTemperature, 0);
     for (dsm::Iteration iter = 0; iter < kIterations; ++iter) {
       // Global_Read(locn, curr_iter, age): returns a value generated no

@@ -57,6 +57,9 @@ struct ParallelInferenceConfig {
   sim::Time cost_per_node_sample = 26 * sim::kMicrosecond;
   /// Bookkeeping cost per rolled-back iteration (state restore).
   sim::Time rollback_overhead = 120 * sim::kMicrosecond;
+  /// Global_Read starvation watchdog budget (0 = off); see
+  /// dsm::PropagationPolicy::read_timeout.  Lossy-network drivers set it.
+  sim::Time read_timeout = 0;
   /// Persistent node speed spread and per-iteration jitter, as in the GA.
   double node_speed_spread = 0.15;
   double per_iter_jitter = 0.10;

@@ -28,9 +28,17 @@ SharedSpace::SharedSpace(rt::Task& task, PropagationPolicy policy)
     blocked_readers_ = &hub.registry().gauge("dsm.blocked_readers");
     inflight_updates_ = &hub.registry().gauge("dsm.updates_inflight");
   }
+  // Serve read demands at delivery time, in engine context, so a writer
+  // blocked in a barrier or its own Global_Read still answers starved
+  // readers (the mailbox-polling drain_requests() below cannot — both
+  // sides could otherwise block on each other forever).
+  task_.set_tag_handler(rt::kDsmRequestTag, [this](rt::Message m) {
+    serve_request(m.payload, m.src);
+  });
 }
 
 SharedSpace::~SharedSpace() {
+  task_.set_tag_handler(rt::kDsmRequestTag, {});
   if (obs_ == nullptr) return;
   obs::Registry& reg = obs_->registry();
   const int pid = task_.id();
@@ -47,6 +55,7 @@ SharedSpace::~SharedSpace() {
   reg.counter("dsm.requests_sent", pid).inc(stats_.requests_sent);
   reg.counter("dsm.hints_received", pid).inc(stats_.hints_received);
   reg.counter("dsm.request_replies", pid).inc(stats_.request_replies);
+  reg.counter("dsm.read_escalations", pid).inc(stats_.read_escalations);
 }
 
 void SharedSpace::declare_written(LocationId loc, std::vector<int> readers) {
@@ -69,7 +78,8 @@ void SharedSpace::declare_read(LocationId loc, int writer) {
 }
 
 void SharedSpace::send_update(LocationId loc, int reader, Iteration iteration,
-                              const rt::Packet& value, bool charge_cpu) {
+                              const rt::Packet& value, bool charge_cpu,
+                              rt::Reliability reliability) {
   rt::Packet payload;
   payload.pack_i32(loc);
   payload.pack_i64(iteration);
@@ -78,13 +88,13 @@ void SharedSpace::send_update(LocationId loc, int reader, Iteration iteration,
   if (obs_ != nullptr) {
     obs_->tracer().instant(task_.id(), "dsm.update.send", task_.now(), "loc",
                            loc, "reader", reader);
-    // Tail-dropped updates never report delivery, so under a bounded lossy
-    // bus the gauge over-counts by the drops; that is visible (and honest)
-    // in the time series rather than silently reconciled.
     inflight_updates_->add(1.0);
   }
+  if (policy_.reliable_updates && reliability == rt::Reliability::kAuto) {
+    reliability = rt::Reliability::kReliable;
+  }
 
-  std::function<void()> after_delivery;
+  std::function<void(bool)> on_settled;
   if (policy_.coalesce || obs_ != nullptr) {
     // The follow-up hop must not touch a SharedSpace that has already been
     // destroyed (its task body may finish while updates are on the wire);
@@ -94,31 +104,42 @@ void SharedSpace::send_update(LocationId loc, int reader, Iteration iteration,
     obs::Gauge* inflight = inflight_updates_;
     sim::Engine* eng = &task_.vm().engine();
     const bool coalesce = policy_.coalesce;
-    after_delivery = [weak, hub, inflight, eng, coalesce, loc, reader] {
+    on_settled = [weak, hub, inflight, eng, coalesce, loc,
+                  reader](bool delivered) {
       if (hub != nullptr) {
         inflight->add(-1.0);
-        hub->tracer().instant(reader, "dsm.update.deliver", eng->now(), "loc",
-                              loc);
+        hub->tracer().instant(reader,
+                              delivered ? "dsm.update.deliver"
+                                        : "dsm.update.lost",
+                              eng->now(), "loc", loc);
       }
       if (coalesce) {
-        if (auto self = weak.lock()) (*self)->on_update_delivered(loc, reader);
+        if (auto self = weak.lock()) {
+          (*self)->on_update_settled(loc, reader, delivered);
+        }
       }
     };
   }
   if (charge_cpu) {
     // Process context: full send path (CPU overhead + transport window).
     task_.send_observed(reader, rt::kDsmUpdateTag, std::move(payload),
-                        std::move(after_delivery));
+                        std::move(on_settled), reliability);
   } else {
     // Engine context (DSM daemon forwarding a coalesced update): inject
     // without charging or blocking the application task.
     task_.vm().post(task_.id(), reader, rt::kDsmUpdateTag, std::move(payload),
-                    std::move(after_delivery));
+                    std::move(on_settled), reliability);
   }
   ++stats_.updates_sent;
 }
 
-void SharedSpace::on_update_delivered(LocationId loc, int reader) {
+void SharedSpace::on_update_settled(LocationId loc, int reader,
+                                    bool delivered) {
+  // Whether the update landed or died on the wire, it is no longer in
+  // flight; forward the newest pending value if one accumulated.  Under
+  // loss this is what makes coalescing self-healing: the *next* write (or
+  // the stashed pending one) re-propagates the location.
+  (void)delivered;
   auto& pr = written_.at(loc).per_reader.at(reader);
   pr.in_flight = false;
   if (pr.has_pending) {
@@ -218,9 +239,29 @@ void SharedSpace::serve_request(rt::Packet& payload, int from) {
   if (mine.valid && mine.iteration >= need) {
     // Demand-driven resend of the current copy (the normal write path will
     // cover the demand otherwise, since writes propagate to every reader).
-    send_update(loc, from, mine.iteration, mine.data, /*charge_cpu=*/true);
+    // Served in engine context (the tag handler fires at delivery), so the
+    // reply is posted daemon-style — no CPU charge, no window — and rides
+    // the reliable channel: a demanded value is load-bearing by definition.
+    send_update(loc, from, mine.iteration, mine.data, /*charge_cpu=*/false,
+                rt::Reliability::kReliable);
     ++stats_.request_replies;
   }
+}
+
+void SharedSpace::send_demand(LocationId loc, Iteration need) {
+  // Actively demand a fresh-enough copy from the writer (also a hint that
+  // this reader is running behind the producer).  Demands are control
+  // traffic and ride the reliable channel when the machine has one.
+  rt::Packet req;
+  req.pack_i32(loc);
+  req.pack_i64(need);
+  if (obs_ != nullptr) {
+    obs_->tracer().instant(task_.id(), "dsm.request", task_.now(), "loc", loc,
+                           "need", need);
+  }
+  task_.send_observed(read_from_.at(loc), rt::kDsmRequestTag, std::move(req),
+                      {}, rt::Reliability::kReliable);
+  ++stats_.requests_sent;
 }
 
 void SharedSpace::drain_requests() {
@@ -261,17 +302,7 @@ const SharedSpace::Value& SharedSpace::global_read(LocationId loc,
   if (!v.valid || v.iteration < need) {
     ++stats_.global_read_blocks;
     if (policy_.read_impl == GlobalReadImpl::kRequest) {
-      // Actively demand a fresh-enough copy from the writer (also a hint
-      // that this reader is running behind the producer).
-      rt::Packet req;
-      req.pack_i32(loc);
-      req.pack_i64(need);
-      if (obs_ != nullptr) {
-        obs_->tracer().instant(task_.id(), "dsm.request", task_.now(), "loc",
-                               loc, "need", need);
-      }
-      task_.send(read_from_.at(loc), rt::kDsmRequestTag, std::move(req));
-      ++stats_.requests_sent;
+      send_demand(loc, need);
     }
     const sim::Time blocked_from = task_.now();
     if (obs_ != nullptr) blocked_readers_->add(1.0);
@@ -279,9 +310,34 @@ const SharedSpace::Value& SharedSpace::global_read(LocationId loc,
     // freshen our copy.  This is the paper's "just wait until the required
     // update arrives" implementation.  A never-written location blocks
     // until its first value arrives, whatever the age bound.
+    //
+    // Starvation watchdog: with a read_timeout budget, a wait that outlives
+    // it (e.g. the satisfying update was dropped by a lossy network)
+    // escalates to an explicit demand — the kRequest impl on demand — then
+    // waits again with an exponentially larger budget.  As long as the
+    // writer keeps iterating (or can serve the demand), the read terminates
+    // with probability 1 at any loss rate < 1.
+    sim::Time budget = policy_.read_timeout;
     while (!v.valid || v.iteration < need) {
-      rt::Message msg = task_.recv(rt::kDsmUpdateTag);
-      apply_update(msg.payload);
+      if (budget <= 0) {
+        rt::Message msg = task_.recv(rt::kDsmUpdateTag);
+        apply_update(msg.payload);
+        continue;
+      }
+      auto msg = task_.recv_timeout(rt::kDsmUpdateTag, budget);
+      if (msg) {
+        apply_update(msg->payload);
+        continue;
+      }
+      ++stats_.read_escalations;
+      if (obs_ != nullptr) {
+        obs_->tracer().instant(task_.id(), "dsm.read.escalate", task_.now(),
+                               "loc", loc, "need", need);
+      }
+      send_demand(loc, need);
+      budget = std::max<sim::Time>(
+          1, static_cast<sim::Time>(static_cast<double>(budget) *
+                                    policy_.read_timeout_backoff));
     }
     stats_.global_read_block_time += task_.now() - blocked_from;
     if (obs_ != nullptr) {

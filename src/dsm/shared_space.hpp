@@ -59,6 +59,22 @@ struct PropagationPolicy {
   /// writes that arrive meanwhile replace the pending value (newest wins).
   bool coalesce = false;
   GlobalReadImpl read_impl = GlobalReadImpl::kWait;
+  /// Starvation watchdog for blocked Global_Reads: after this much virtual
+  /// time without a satisfying update, the reader escalates from passively
+  /// waiting to an explicit (reliable) kRequest demand to the writer, then
+  /// backs off exponentially and demands again.  0 disables the watchdog —
+  /// the default, because an *unsatisfiable* read (writer never reaches the
+  /// needed iteration) must still be allowed to block forever and surface
+  /// as a detectable deadlock.  Under a lossy network a finite budget makes
+  /// Global_Read loss-proof as long as the writer keeps iterating.
+  sim::Time read_timeout = 0;
+  /// Multiplier applied to the budget after each escalation.
+  double read_timeout_backoff = 2.0;
+  /// Send DSM updates over the reliable transport channel (when the machine
+  /// has one enabled).  Synchronous-mode drivers set this: age-0 reads make
+  /// every update semantically load-bearing.  Asynchronous modes leave it
+  /// off and lean on staleness tolerance instead.
+  bool reliable_updates = false;
 };
 
 struct DsmStats {
@@ -73,6 +89,7 @@ struct DsmStats {
   std::uint64_t requests_sent = 0;      ///< kRequest impl: demands issued.
   std::uint64_t hints_received = 0;     ///< Writer side: starved readers seen.
   std::uint64_t request_replies = 0;    ///< Writer side: demand-driven resends.
+  std::uint64_t read_escalations = 0;   ///< Watchdog-triggered demands.
   util::RunningStats staleness_on_read;  ///< curr_iter - value iteration.
 };
 
@@ -156,8 +173,10 @@ class SharedSpace {
   void serve_request(rt::Packet& payload, int from);
   void drain_requests();
   void send_update(LocationId loc, int reader, Iteration iteration,
-                   const rt::Packet& value, bool charge_cpu);
-  void on_update_delivered(LocationId loc, int reader);
+                   const rt::Packet& value, bool charge_cpu,
+                   rt::Reliability reliability = rt::Reliability::kAuto);
+  void on_update_settled(LocationId loc, int reader, bool delivered);
+  void send_demand(LocationId loc, Iteration need);
 
   rt::Task& task_;
   PropagationPolicy policy_;

@@ -1,0 +1,130 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+
+#include "util/flags.hpp"
+
+namespace nscc::fault {
+
+namespace {
+
+bool in_any(const std::vector<Window>& windows, sim::Time t) {
+  for (const Window& w : windows) {
+    if (w.contains(t)) return true;
+  }
+  return false;
+}
+
+/// Latest `end` among windows containing t (0 when none does).
+sim::Time release_after(const std::vector<Window>& windows, sim::Time t) {
+  sim::Time release = 0;
+  for (const Window& w : windows) {
+    if (w.contains(t)) release = std::max(release, w.end);
+  }
+  return release;
+}
+
+}  // namespace
+
+const LinkFaults& FaultInjector::link_for(int src, int dst) const {
+  const auto it = plan_.per_link.find({src, dst});
+  return it != plan_.per_link.end() ? it->second : plan_.link;
+}
+
+FaultInjector::Verdict FaultInjector::judge(int src, int dst, sim::Time now,
+                                            sim::Time delivered_at) {
+  Verdict v;
+  ++stats_.frames_judged;
+
+  // Scheduled faults first: they consume no randomness, so a plan that only
+  // schedules windows perturbs nothing about the stochastic draw sequence.
+  if (in_any(plan_.outages, now)) {
+    v.drop = true;
+    ++stats_.frames_lost;
+    ++stats_.outage_drops;
+    return v;
+  }
+  for (const int node : {src, dst}) {
+    const auto it = plan_.nodes.find(node);
+    if (it != plan_.nodes.end() && in_any(it->second.crashes, now)) {
+      v.drop = true;
+      ++stats_.frames_lost;
+      ++stats_.crash_drops;
+      return v;
+    }
+  }
+
+  const LinkFaults& link = link_for(src, dst);
+  if (link.any()) {
+    // Fixed draw order (loss, dup, delay) keeps the stream aligned across
+    // links with different fault subsets enabled.
+    const bool lost = link.loss_prob > 0.0 && rng_.bernoulli(link.loss_prob);
+    const bool dup = link.dup_prob > 0.0 && rng_.bernoulli(link.dup_prob);
+    const bool late = link.delay_prob > 0.0 && link.delay_max > 0 &&
+                      rng_.bernoulli(link.delay_prob);
+    sim::Time jitter = 0;
+    if (dup || late) {
+      jitter = 1 + static_cast<sim::Time>(rng_.below(
+                       static_cast<std::uint64_t>(std::max<sim::Time>(
+                           1, link.delay_max))));
+    }
+    if (lost) {
+      v.drop = true;
+      ++stats_.frames_lost;
+      return v;
+    }
+    if (late) {
+      v.extra_delay += jitter;
+      ++stats_.frames_delayed;
+    }
+    if (dup) {
+      v.duplicate = true;
+      v.duplicate_delay = jitter;
+      ++stats_.frames_duplicated;
+    }
+  }
+
+  // Receiver-side scheduled effects act on the (jittered) arrival time.
+  const auto it = plan_.nodes.find(dst);
+  if (it != plan_.nodes.end()) {
+    const sim::Time arrival = delivered_at + v.extra_delay;
+    if (const sim::Time release = release_after(it->second.pauses, arrival);
+        release > arrival) {
+      v.extra_delay += release - arrival;
+      ++stats_.frames_delayed;
+    } else if (it->second.slowdown > 1.0 &&
+               in_any(it->second.slow, arrival)) {
+      v.extra_delay += static_cast<sim::Time>(
+          (it->second.slowdown - 1.0) * static_cast<double>(arrival - now));
+      ++stats_.frames_delayed;
+    }
+  }
+  return v;
+}
+
+void add_flags(util::Flags& flags) {
+  flags
+      .add_double("loss-rate", 0.0,
+                  "per-frame loss probability injected on every link")
+      .add_int("fault-seed", 0xFA17,
+               "seed for the fault injector's RNG stream")
+      .add_double("read-timeout-ms", 0.0,
+                  "Global_Read starvation watchdog budget in virtual ms "
+                  "(0 disables escalation)");
+}
+
+FaultPlan plan_from_flags(const util::Flags& flags) {
+  FaultPlan plan;
+  plan.seed = static_cast<std::uint64_t>(flags.get_int("fault-seed"));
+  plan.link.loss_prob = flags.get_double("loss-rate");
+  return plan;
+}
+
+sim::Time read_timeout_from_flags(const util::Flags& flags) {
+  const double ms = flags.get_double("read-timeout-ms");
+  return ms <= 0.0 ? 0
+                   : static_cast<sim::Time>(
+                         ms * static_cast<double>(sim::kMillisecond));
+}
+
+}  // namespace nscc::fault

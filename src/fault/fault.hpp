@@ -1,0 +1,143 @@
+// Deterministic, seeded fault injection for the simulated interconnects.
+//
+// The paper's testbed was a shared 10 Mbps Ethernet whose loaded runs
+// (Figure 4) motivate non-strict coherence precisely because race-tolerant
+// traffic survives delay and loss.  This subsystem makes that stress
+// explicit and reproducible: a FaultPlan describes per-link frame loss,
+// duplication, and extra-delay jitter, scheduled burst outages of the whole
+// medium, and per-node crash-restart / pause / slowdown windows; a
+// FaultInjector judges every frame against the plan with its own seeded RNG
+// stream, so a run remains a pure function of (seed, plan) and two runs with
+// the same plan produce byte-identical metrics.
+//
+// Semantics (documented here once, relied on by net:: and tests):
+//   * loss        — the frame occupies the medium (it was transmitted) but
+//                   is never delivered, like a collision or CRC kill;
+//   * duplication — the receiver sees the frame twice, the copy arriving
+//                   after an extra jitter delay (link-level retransmit of a
+//                   frame whose first copy actually made it);
+//   * delay       — extra latency uniform in (0, delay_max], applied per
+//                   frame; large values reorder frames;
+//   * outage      — a scheduled window in which every frame on the medium
+//                   is lost (cable pulled, switch rebooting);
+//   * crash       — frames to or from the node are lost while it is down;
+//   * pause       — frames to the node are held and delivered when the
+//                   window ends (the node stops draining its NIC);
+//   * slowdown    — delivery latency of frames to the node is multiplied
+//                   while the window is open (a CPU-starved receiver).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace nscc::util {
+class Flags;
+}  // namespace nscc::util
+
+namespace nscc::fault {
+
+/// Half-open virtual-time window [start, end).
+struct Window {
+  sim::Time start = 0;
+  sim::Time end = 0;
+  [[nodiscard]] bool contains(sim::Time t) const noexcept {
+    return t >= start && t < end;
+  }
+};
+
+/// Stochastic per-link misbehaviour (probabilities are per frame).
+struct LinkFaults {
+  double loss_prob = 0.0;       ///< Frame lost on the wire.
+  double dup_prob = 0.0;        ///< Frame delivered twice.
+  double delay_prob = 0.0;      ///< Frame gets extra delay (jitter).
+  sim::Time delay_max = 0;      ///< Extra delay uniform in (0, delay_max].
+  [[nodiscard]] bool any() const noexcept {
+    return loss_prob > 0.0 || dup_prob > 0.0 ||
+           (delay_prob > 0.0 && delay_max > 0);
+  }
+};
+
+/// Scheduled per-node misbehaviour.
+struct NodeFaults {
+  std::vector<Window> crashes;  ///< Node down: frames to/from it are lost.
+  std::vector<Window> pauses;   ///< Frames to it held until the window ends.
+  std::vector<Window> slow;     ///< Receive-latency multiplier windows.
+  double slowdown = 1.0;        ///< Latency factor applied inside `slow`.
+};
+
+/// The whole deterministic fault schedule for one run.
+struct FaultPlan {
+  std::uint64_t seed = 0xFA17ULL;
+  LinkFaults link;  ///< Default faults for every (src, dst) link.
+  /// Per-(src, dst) overrides; -1 matches the anonymous background-load
+  /// source.  An entry fully replaces `link` for that pair.
+  std::map<std::pair<int, int>, LinkFaults> per_link;
+  std::vector<Window> outages;        ///< Whole-medium burst losses.
+  std::map<int, NodeFaults> nodes;    ///< Keyed by node/task id.
+
+  [[nodiscard]] bool empty() const noexcept {
+    return !link.any() && per_link.empty() && outages.empty() && nodes.empty();
+  }
+};
+
+struct FaultStats {
+  std::uint64_t frames_judged = 0;
+  std::uint64_t frames_lost = 0;       ///< All losses (random + outage + crash).
+  std::uint64_t outage_drops = 0;      ///< Subset of frames_lost.
+  std::uint64_t crash_drops = 0;       ///< Subset of frames_lost.
+  std::uint64_t frames_duplicated = 0;
+  std::uint64_t frames_delayed = 0;    ///< Jitter, pause holds, and slowdowns.
+};
+
+/// Judges every frame a network model is about to deliver.  Stateless apart
+/// from its RNG stream and counters; both SharedBus and SwitchFabric share
+/// one injector per machine so the draw sequence is a deterministic function
+/// of the (globally ordered) transmit sequence.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan)
+      : plan_(std::move(plan)), rng_(plan_.seed) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// What should happen to one frame handed to the medium at `now` with a
+  /// nominal arrival of `delivered_at`.
+  struct Verdict {
+    bool drop = false;
+    bool duplicate = false;
+    sim::Time extra_delay = 0;      ///< Added to the nominal arrival.
+    sim::Time duplicate_delay = 0;  ///< Copy arrives this much after the
+                                    ///< (possibly delayed) original.
+  };
+  Verdict judge(int src, int dst, sim::Time now, sim::Time delivered_at);
+
+  [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  [[nodiscard]] const LinkFaults& link_for(int src, int dst) const;
+
+  FaultPlan plan_;
+  util::Xoshiro256 rng_;
+  FaultStats stats_;
+};
+
+/// Register the standard fault flags (--loss-rate, --fault-seed,
+/// --read-timeout-ms) on a driver's flag set; like every util::Flags entry
+/// they honour the NSCC_* environment overrides.
+void add_flags(util::Flags& flags);
+
+/// Build a plan from flags registered by add_flags(): a uniform per-frame
+/// loss probability on every link, deterministically seeded.
+[[nodiscard]] FaultPlan plan_from_flags(const util::Flags& flags);
+
+/// The --read-timeout-ms flag as a virtual-time budget (0 = watchdog off).
+[[nodiscard]] sim::Time read_timeout_from_flags(const util::Flags& flags);
+
+}  // namespace nscc::fault

@@ -52,7 +52,15 @@ IslandResult run_island_ga(const IslandConfig& config,
       const double my_speed = speed[static_cast<std::size_t>(d)];
       util::Xoshiro256 jitter_rng = task.rng().split(0xba5e);
 
-      dsm::SharedSpace space(task, config.propagation);
+      // Synchronous mode has no staleness tolerance: with a reliable
+      // transport available, its updates must ride it (a lost age-0 update
+      // would otherwise stall the barrier-step pipeline until recovery).
+      dsm::PropagationPolicy prop = config.propagation;
+      if (config.mode == dsm::Mode::kSynchronous &&
+          task.vm().config().transport.enabled) {
+        prop.reliable_updates = true;
+      }
+      dsm::SharedSpace space(task, prop);
       std::vector<int> readers;
       for (int r = 0; r < config.ndemes; ++r) {
         if (r != d) readers.push_back(r);
@@ -214,6 +222,16 @@ IslandResult run_island_ga(const IslandConfig& config,
     result.age_adjustments += out.age_adjustments;
   }
   result.mean_staleness = staleness.mean();
+  for (int d = 0; d < config.ndemes; ++d) {
+    result.read_escalations +=
+        outcomes[static_cast<std::size_t>(d)].dsm.read_escalations;
+  }
+  result.retransmissions = vm.transport_stats().retransmissions;
+  result.frames_lost =
+      vm.bus().stats().frames_lost +
+      (machine.network == rt::Network::kSp2Switch
+           ? vm.sp2_switch().stats().frames_lost
+           : 0);
   std::sort(merged.begin(), merged.end());
   double best = std::numeric_limits<double>::infinity();
   for (const auto& [t, f] : merged) {

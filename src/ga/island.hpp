@@ -68,6 +68,10 @@ struct IslandResult {
   /// Adaptive-age diagnostics (zero unless adaptive_age was on).
   double mean_final_age = 0.0;
   std::uint64_t age_adjustments = 0;
+  /// Robustness diagnostics (zero on a perfect network).
+  std::uint64_t frames_lost = 0;       ///< Fault-injected wire losses.
+  std::uint64_t retransmissions = 0;   ///< Reliable-transport resends.
+  std::uint64_t read_escalations = 0;  ///< Global_Read watchdog demands.
 };
 
 /// Run one island-GA experiment on a fresh simulated machine.  `machine`

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 namespace nscc::net {
 
@@ -31,9 +32,16 @@ double SharedBus::utilization() const noexcept {
   return static_cast<double>(stats_.busy_time) / static_cast<double>(elapsed);
 }
 
-bool SharedBus::transmit(
-    std::uint32_t payload_bytes,
-    std::function<void(sim::Time delivered_at)> on_delivered) {
+bool SharedBus::transmit(std::uint32_t payload_bytes,
+                         std::function<void(sim::Time)> on_delivered) {
+  return transmit(-1, -1, payload_bytes,
+                  [cb = std::move(on_delivered)](sim::Time at, bool delivered) {
+                    if (delivered && cb) cb(at);
+                  });
+}
+
+bool SharedBus::transmit(int src, int dst, std::uint32_t payload_bytes,
+                         Outcome outcome) {
   if (config_.max_pending_frames != 0 &&
       pending_ >= config_.max_pending_frames) {
     ++stats_.frames_dropped;
@@ -41,6 +49,7 @@ bool SharedBus::transmit(
       tracer_->instant(obs::kBusTrack, "bus.drop", engine_.now(), "bytes",
                        payload_bytes);
     }
+    if (drop_hook_) drop_hook_(src, dst, payload_bytes, "tail_drop");
     return false;
   }
 
@@ -48,7 +57,7 @@ bool SharedBus::transmit(
   const sim::Time start = std::max(now, busy_until_);
   const sim::Time tx = transmission_time(payload_bytes);
   const sim::Time end = start + tx;
-  const sim::Time delivered_at = end + config_.propagation_delay;
+  sim::Time delivered_at = end + config_.propagation_delay;
   busy_until_ = end;
 
   ++stats_.frames_sent;
@@ -72,8 +81,50 @@ bool SharedBus::transmit(
     stats_.pending_high_water = std::max(stats_.pending_high_water, pending_);
     engine_.schedule(start, [this] { --pending_; });
   }
-  engine_.schedule(delivered_at, [cb = std::move(on_delivered), delivered_at] {
-    cb(delivered_at);
+
+  // Fault judgement: a lost frame has already occupied the medium (wire
+  // time is charged above) — it dies between the wire and the receiver.
+  bool lost = false;
+  sim::Time dup_at = 0;
+  if (injector_ != nullptr) {
+    const auto verdict = injector_->judge(src, dst, now, delivered_at);
+    stats_.frames_lost += verdict.drop ? 1 : 0;
+    stats_.frames_duplicated += verdict.duplicate ? 1 : 0;
+    stats_.frames_delayed += verdict.extra_delay > 0 ? 1 : 0;
+    lost = verdict.drop;
+    delivered_at += verdict.extra_delay;
+    if (verdict.duplicate) dup_at = delivered_at + verdict.duplicate_delay;
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      if (verdict.drop) {
+        tracer_->instant(obs::kBusTrack, "fault.loss", now, "src", src, "dst",
+                         dst);
+      } else if (verdict.duplicate) {
+        tracer_->instant(obs::kBusTrack, "fault.dup", now, "src", src, "dst",
+                         dst);
+      } else if (verdict.extra_delay > 0) {
+        tracer_->instant(obs::kBusTrack, "fault.delay", now, "extra_ns",
+                         verdict.extra_delay);
+      }
+    }
+    if (lost && drop_hook_) drop_hook_(src, dst, payload_bytes, "fault");
+  }
+
+  if (lost) {
+    engine_.schedule(delivered_at, [cb = std::move(outcome), delivered_at] {
+      cb(delivered_at, false);
+    });
+    return true;
+  }
+  if (dup_at > 0) {
+    // Two deliveries share one callback; copyable std::function allows it.
+    engine_.schedule(delivered_at,
+                     [cb = outcome, delivered_at] { cb(delivered_at, true); });
+    engine_.schedule(dup_at,
+                     [cb = std::move(outcome), dup_at] { cb(dup_at, true); });
+    return true;
+  }
+  engine_.schedule(delivered_at, [cb = std::move(outcome), delivered_at] {
+    cb(delivered_at, true);
   });
   return true;
 }

@@ -8,11 +8,20 @@
 // paper's loaded-network experiments (Figure 4) and warp measurements probe.
 // An optional bounded transmit queue with tail drop models the lossy
 // behaviour asynchronous algorithms tolerate.
+//
+// An attached fault::FaultInjector subjects every frame to the machine's
+// FaultPlan: lost frames occupy the medium but report delivered=false, so
+// callers can account for them (release transport windows, retransmit);
+// duplicated frames report a second delivered=true outcome; delayed frames
+// simply arrive later (and may reorder).  Tail drops and fault losses are
+// also surfaced through an optional per-bus drop hook.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 
+#include "fault/fault.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
@@ -37,7 +46,10 @@ struct BusConfig {
 /// Aggregate counters for reporting and tests.
 struct BusStats {
   std::uint64_t frames_sent = 0;
-  std::uint64_t frames_dropped = 0;
+  std::uint64_t frames_dropped = 0;     ///< Tail-dropped before the wire.
+  std::uint64_t frames_lost = 0;        ///< Fault-injected losses on the wire.
+  std::uint64_t frames_duplicated = 0;  ///< Fault-injected duplicates.
+  std::uint64_t frames_delayed = 0;     ///< Fault-injected extra delay.
   std::uint64_t payload_bytes = 0;
   std::uint64_t wire_bytes = 0;
   sim::Time busy_time = 0;
@@ -46,15 +58,32 @@ struct BusStats {
 
 class SharedBus {
  public:
+  /// Runs at delivery (delivered=true; possibly twice for a duplicated
+  /// frame) or at the moment a fault loses the frame (delivered=false);
+  /// always engine context.  A tail-dropped message reports neither — the
+  /// transmit() return value covers that case synchronously.
+  using Outcome = std::function<void(sim::Time at, bool delivered)>;
+  /// Observer for every frame the medium abandons (tail drop or fault
+  /// loss); `reason` is a static string ("tail_drop", "fault").
+  using DropHook =
+      std::function<void(int src, int dst, std::uint32_t payload_bytes,
+                         const char* reason)>;
+
   SharedBus(sim::Engine& engine, BusConfig config)
       : engine_(engine), config_(config) {}
 
   SharedBus(const SharedBus&) = delete;
   SharedBus& operator=(const SharedBus&) = delete;
 
-  /// Hand a message of `payload_bytes` to the medium.  `on_delivered` runs
-  /// in engine context at the arrival time.  Returns false when the bounded
-  /// queue tail-dropped the message (on_delivered never runs).
+  /// Hand a message of `payload_bytes` to the medium.  `src`/`dst` identify
+  /// the endpoints for per-link fault lookup (-1 = anonymous, e.g. the
+  /// background load generator).  Returns false when the bounded queue
+  /// tail-dropped the message (`outcome` never runs).
+  bool transmit(int src, int dst, std::uint32_t payload_bytes,
+                Outcome outcome);
+
+  /// Legacy anonymous-sender form: delivery callback only, fault losses are
+  /// silent (the load generator and micro-benchmarks use this).
   bool transmit(std::uint32_t payload_bytes,
                 std::function<void(sim::Time delivered_at)> on_delivered);
 
@@ -87,10 +116,20 @@ class SharedBus {
   /// queueing shown as a wait arg), contention and tail drops instants.
   void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
 
+  /// Attach a fault injector (nullptr detaches; not owned).
+  void set_fault_injector(fault::FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+
+  /// Attach a drop observer (tail drops and fault losses).
+  void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
+
  private:
   sim::Engine& engine_;
   BusConfig config_;
   obs::Tracer* tracer_ = nullptr;
+  fault::FaultInjector* injector_ = nullptr;
+  DropHook drop_hook_;
   sim::Time busy_until_ = 0;
   std::uint32_t pending_ = 0;
   BusStats stats_;

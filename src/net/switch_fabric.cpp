@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <string>
+#include <utility>
 
 namespace nscc::net {
 
@@ -16,6 +17,16 @@ sim::Time SwitchFabric::link_time(std::uint32_t payload_bytes) const {
 void SwitchFabric::transmit(
     int src, int dst, std::uint32_t payload_bytes,
     std::function<void(sim::Time delivered_at)> on_delivered) {
+  transmit_observed(src, dst, payload_bytes,
+                    [cb = std::move(on_delivered)](sim::Time at,
+                                                   bool delivered) {
+                      if (delivered && cb) cb(at);
+                    });
+}
+
+void SwitchFabric::transmit_observed(int src, int dst,
+                                     std::uint32_t payload_bytes,
+                                     Outcome outcome) {
   const sim::Time now = engine_.now();
   const sim::Time wire = link_time(payload_bytes);
 
@@ -26,7 +37,7 @@ void SwitchFabric::transmit(
 
   auto& rx = rx_busy_[static_cast<std::size_t>(dst)];
   const sim::Time rx_start = std::max(tx_end + config_.fabric_latency, rx);
-  const sim::Time delivered_at = rx_start + wire;
+  sim::Time delivered_at = rx_start + wire;
   rx = delivered_at;
 
   ++stats_.messages;
@@ -38,8 +49,38 @@ void SwitchFabric::transmit(
                       "dst", dst, "bytes", payload_bytes);
   }
 
-  engine_.schedule(delivered_at, [cb = std::move(on_delivered), delivered_at] {
-    cb(delivered_at);
+  bool lost = false;
+  sim::Time dup_at = 0;
+  if (injector_ != nullptr) {
+    const auto verdict = injector_->judge(src, dst, now, delivered_at);
+    stats_.frames_lost += verdict.drop ? 1 : 0;
+    stats_.frames_duplicated += verdict.duplicate ? 1 : 0;
+    stats_.frames_delayed += verdict.extra_delay > 0 ? 1 : 0;
+    lost = verdict.drop;
+    delivered_at += verdict.extra_delay;
+    if (verdict.duplicate) dup_at = delivered_at + verdict.duplicate_delay;
+    if (tracer_ != nullptr && tracer_->enabled() && verdict.drop) {
+      tracer_->instant(obs::kSwitchTrackBase + src, "fault.loss", now, "dst",
+                       dst);
+    }
+    if (lost && drop_hook_) drop_hook_(src, dst, payload_bytes, "fault");
+  }
+
+  if (lost) {
+    engine_.schedule(delivered_at, [cb = std::move(outcome), delivered_at] {
+      cb(delivered_at, false);
+    });
+    return;
+  }
+  if (dup_at > 0) {
+    engine_.schedule(delivered_at,
+                     [cb = outcome, delivered_at] { cb(delivered_at, true); });
+    engine_.schedule(dup_at,
+                     [cb = std::move(outcome), dup_at] { cb(dup_at, true); });
+    return;
+  }
+  engine_.schedule(delivered_at, [cb = std::move(outcome), delivered_at] {
+    cb(delivered_at, true);
   });
 }
 

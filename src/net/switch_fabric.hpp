@@ -9,12 +9,17 @@
 // serialises on its source's TX link, crosses the fabric with a fixed
 // latency, then serialises on the destination's RX link.  Unlike the shared
 // bus there is no global medium contention — only per-port queueing.
+// An attached fault::FaultInjector subjects every message to the machine's
+// FaultPlan exactly as on the shared bus: losses report delivered=false,
+// duplicates deliver twice, delays push the arrival out.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
@@ -32,12 +37,21 @@ struct SwitchConfig {
 
 struct SwitchStats {
   std::uint64_t messages = 0;
+  std::uint64_t frames_lost = 0;        ///< Fault-injected losses.
+  std::uint64_t frames_duplicated = 0;  ///< Fault-injected duplicates.
+  std::uint64_t frames_delayed = 0;     ///< Fault-injected extra delay.
   std::uint64_t payload_bytes = 0;
   sim::Time tx_busy_time = 0;  ///< Summed over ports.
 };
 
 class SwitchFabric {
  public:
+  /// See SharedBus::Outcome — identical contract.
+  using Outcome = std::function<void(sim::Time at, bool delivered)>;
+  using DropHook =
+      std::function<void(int src, int dst, std::uint32_t payload_bytes,
+                         const char* reason)>;
+
   SwitchFabric(sim::Engine& engine, int ports, SwitchConfig config)
       : engine_(engine),
         config_(config),
@@ -49,9 +63,15 @@ class SwitchFabric {
 
   /// Carry `payload_bytes` from port `src` to port `dst`; `on_delivered`
   /// runs in engine context at arrival.  Always accepted (link-level flow
-  /// control is modelled by the runtime's sender window).
+  /// control is modelled by the runtime's sender window).  Fault losses are
+  /// silent in this form.
   void transmit(int src, int dst, std::uint32_t payload_bytes,
                 std::function<void(sim::Time delivered_at)> on_delivered);
+
+  /// Outcome form: fault losses report delivered=false, duplicates deliver
+  /// twice (see SharedBus::Outcome).
+  void transmit_observed(int src, int dst, std::uint32_t payload_bytes,
+                         Outcome outcome);
 
   /// Serialisation time of a message on one link.
   [[nodiscard]] sim::Time link_time(std::uint32_t payload_bytes) const;
@@ -65,10 +85,20 @@ class SwitchFabric {
   /// switch track.
   void set_tracer(obs::Tracer* tracer) noexcept;
 
+  /// Attach a fault injector (nullptr detaches; not owned).
+  void set_fault_injector(fault::FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+
+  /// Attach a drop observer (fault losses; the switch never tail-drops).
+  void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
+
  private:
   sim::Engine& engine_;
   SwitchConfig config_;
   obs::Tracer* tracer_ = nullptr;
+  fault::FaultInjector* injector_ = nullptr;
+  DropHook drop_hook_;
   std::vector<sim::Time> tx_busy_;
   std::vector<sim::Time> rx_busy_;
   SwitchStats stats_;

@@ -46,6 +46,9 @@ struct TrainConfig {
   sim::Time cost_per_mac = 40;  // ns
   double node_speed_spread = 0.15;
   double per_step_jitter = 0.10;
+  /// Global_Read starvation watchdog budget (0 = off); see
+  /// dsm::PropagationPolicy::read_timeout.  Lossy-network drivers set it.
+  sim::Time read_timeout = 0;
 };
 
 struct TrainResult {

@@ -4,6 +4,7 @@
 // buffer knows its byte size, which is what the network model charges for.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -94,6 +95,16 @@ class Packet {
   /// Reset the read cursor (e.g. to re-read a stored message).
   void rewind() noexcept { rpos_ = 0; }
 
+  /// Copy of this packet cut down to its first `n` bytes (cursor rewound).
+  /// Models a truncated frame for robustness tests.
+  [[nodiscard]] Packet truncated(std::size_t n) const {
+    Packet q;
+    q.buf_.assign(buf_.begin(),
+                  buf_.begin() + static_cast<std::ptrdiff_t>(
+                                     std::min(n, buf_.size())));
+    return q;
+  }
+
  private:
   Packet& append(const void* data, std::size_t n) {
     const auto* p = static_cast<const std::byte*>(data);
@@ -102,7 +113,10 @@ class Packet {
   }
 
   void check(std::uint64_t n) const {
-    if (rpos_ + n > buf_.size()) {
+    // rpos_ <= buf_.size() always holds, so the subtraction is safe; the
+    // naive `rpos_ + n > size` form would wrap for hostile length prefixes
+    // near 2^64 and read out of bounds.
+    if (n > buf_.size() - rpos_) {
       throw std::out_of_range("Packet: unpack past end of buffer");
     }
   }
@@ -119,7 +133,11 @@ class Packet {
   template <typename T>
   std::vector<T> take_vec() {
     const std::uint64_t n = unpack_u64();
-    check(n * sizeof(T));
+    // Divide instead of multiplying: `n * sizeof(T)` overflows for a
+    // corrupt length prefix, which would pass check() and then OOB-read.
+    if (n > (buf_.size() - rpos_) / sizeof(T)) {
+      throw std::out_of_range("Packet: unpack past end of buffer");
+    }
     std::vector<T> v(static_cast<std::size_t>(n));
     std::memcpy(v.data(), buf_.data() + rpos_, v.size() * sizeof(T));
     rpos_ += v.size() * sizeof(T);

@@ -26,7 +26,8 @@ void Task::send(int dst, int tag, Packet payload) {
 }
 
 void Task::send_observed(int dst, int tag, Packet payload,
-                         std::function<void()> after_delivery) {
+                         std::function<void(bool)> on_settled,
+                         Reliability reliability) {
   compute(vm_.config_.send_sw_overhead);
   // Transport backpressure: block while the socket-buffer window is full
   // (a flooding sender is throttled to the medium's drain rate).
@@ -45,7 +46,8 @@ void Task::send_observed(int dst, int tag, Packet payload,
                                now() - blocked_from, "bytes",
                                static_cast<std::int64_t>(bytes));
   }
-  if (!vm_.post(id_, dst, tag, std::move(payload), std::move(after_delivery))) {
+  if (!vm_.post(id_, dst, tag, std::move(payload), std::move(on_settled),
+                reliability)) {
     ++stats_.messages_dropped;
   }
 }
@@ -91,6 +93,38 @@ Message Task::recv(int tag) {
   }
 }
 
+std::optional<Message> Task::recv_timeout(int tag, sim::Time timeout) {
+  assert(vm_.engine_.current() == process_ &&
+         "recv_timeout() must run inside the task's process");
+  if (timeout <= 0) return try_recv(tag);
+  timed_out_ = false;
+  const auto watchdog =
+      vm_.engine_.set_watchdog(now() + timeout, [this] {
+        if (waiting_) {
+          waiting_ = false;
+          timed_out_ = true;
+          process_->resume();
+        }
+      });
+  for (;;) {
+    if (auto idx = find_match(tag)) {
+      vm_.engine_.cancel_watchdog(watchdog);
+      Message msg = pop_at(*idx);
+      ++stats_.messages_received;
+      compute(vm_.config_.recv_sw_overhead);
+      return msg;
+    }
+    if (timed_out_) return std::nullopt;
+    waiting_ = true;
+    waiting_tag_ = tag;
+    const sim::Time blocked_from = now();
+    process_->suspend();
+    stats_.blocked_time += now() - blocked_from;
+    vm_.obs_.tracer().complete(id_, "recv.wait", blocked_from,
+                               now() - blocked_from, "tag", tag);
+  }
+}
+
 std::optional<Message> Task::try_recv(int tag) {
   assert(vm_.engine_.current() == process_);
   if (auto idx = find_match(tag)) {
@@ -104,12 +138,28 @@ std::optional<Message> Task::try_recv(int tag) {
 
 bool Task::probe(int tag) const noexcept { return find_match(tag).has_value(); }
 
+void Task::set_tag_handler(int tag, std::function<void(Message)> handler) {
+  if (handler) {
+    tag_handlers_[tag] = std::move(handler);
+  } else {
+    tag_handlers_.erase(tag);
+  }
+}
+
 void Task::deliver(Message msg) {
   if (msg.src != id_) {
     vm_.warp_.record(id_, msg.src, msg.sent_at, msg.delivered_at);
   }
   vm_.obs_.tracer().instant(id_, "msg.deliver", msg.delivered_at, "src",
                             msg.src, "bytes", msg.payload.byte_size());
+  if (auto h = tag_handlers_.find(msg.tag); h != tag_handlers_.end()) {
+    // Engine-context consumer (DSM request daemon): the message never
+    // touches the mailbox, so it is served even while the task body is
+    // blocked in a barrier or Global_Read.
+    ++stats_.messages_received;
+    h->second(std::move(msg));
+    return;
+  }
   mailbox_.push_back(std::move(msg));
   if (waiting_) {
     const Message& arrived = mailbox_.back();
@@ -140,63 +190,212 @@ void Task::barrier() {
 
 // ---- VirtualMachine ----------------------------------------------------------
 
+bool VirtualMachine::reliable_for(int tag, Reliability reliability) const {
+  if (!config_.transport.enabled || tag == kAckTag) return false;
+  switch (reliability) {
+    case Reliability::kReliable:
+      return true;
+    case Reliability::kBestEffort:
+      return false;
+    case Reliability::kAuto:
+      break;
+  }
+  // Application traffic and runtime control traffic ride the reliable
+  // channel; DSM updates are the race-tolerant payload and stay best-effort
+  // unless the caller opts in (synchronous mode does).
+  if (tag < kReservedTagBase) return true;
+  return tag == kBarrierArriveTag || tag == kBarrierReleaseTag ||
+         tag == kDsmRequestTag;
+}
+
 bool VirtualMachine::post(int src, int dst, int tag, Packet payload,
-                          std::function<void()> after_delivery) {
+                          std::function<void(bool)> on_settled,
+                          Reliability reliability) {
   assert(src >= 0 && src < size());
   assert(dst >= 0 && dst < size());
 
-  Message msg;
-  msg.src = src;
-  msg.tag = tag;
-  msg.payload = std::move(payload);
-  msg.sent_at = engine_.now();
-
   Task* sender = tasks_.at(src).get();
-  const std::uint32_t payload_bytes = msg.payload.byte_size();
-  ++sender->stats_.messages_sent;
-  sender->stats_.bytes_sent += payload_bytes;
-  sender->in_flight_bytes_ += payload_bytes;
-  obs_.tracer().instant(src, "msg.send", engine_.now(), "dst", dst, "bytes",
-                        payload_bytes);
+  const bool is_ack = (tag == kAckTag);
 
-  // Runs at delivery: releases the sender's transport window and wakes it
-  // if it is blocked in send().
-  auto release_window = [sender, payload_bytes] {
-    sender->in_flight_bytes_ -= payload_bytes;
+  auto st = std::make_shared<TxState>();
+  st->msg.src = src;
+  st->msg.tag = tag;
+  st->msg.payload = std::move(payload);
+  st->msg.sent_at = engine_.now();
+  st->dst = dst;
+  // ACKs have a fixed modelled wire size and are exempt from the sender
+  // window and per-task traffic stats (hardware/daemon-level frames).
+  st->payload_bytes =
+      is_ack ? config_.transport.ack_bytes : st->msg.payload.byte_size();
+  st->on_settled = std::move(on_settled);
+
+  if (is_ack) {
+    st->window_released = true;
+  } else {
+    ++sender->stats_.messages_sent;
+    sender->stats_.bytes_sent += st->payload_bytes;
+    sender->in_flight_bytes_ += st->payload_bytes;
+    obs_.tracer().instant(src, "msg.send", engine_.now(), "dst", dst, "bytes",
+                          st->payload_bytes);
+  }
+
+  if (dst == src) {
+    // Local delivery: no wire time (and no faults or transport), still
+    // ordered via an event.
+    engine_.schedule(engine_.now(), [this, st, sender] {
+      st->msg.delivered_at = engine_.now();
+      if (!st->window_released) {
+        st->window_released = true;
+        sender->in_flight_bytes_ -= st->payload_bytes;
+        if (sender->waiting_for_window_) {
+          sender->waiting_for_window_ = false;
+          sender->process_->resume();
+        }
+      }
+      sender->deliver(std::move(st->msg));
+      settle(st, true);
+    });
+    return true;
+  }
+
+  st->reliable = reliable_for(tag, reliability);
+  if (st->reliable) {
+    st->msg.seq = ++tx_seq_[{src, dst}];
+    st->rto = config_.transport.ack_timeout;
+    pending_tx_[{src, dst, st->msg.seq}] = st;
+    arm_retx_timer(st);
+  }
+
+  transmit_frame(st);
+  // Only a best-effort tail drop settles synchronously (reliable frames are
+  // retried by the timer and always count as accepted).
+  return st->reliable || !st->settled;
+}
+
+void VirtualMachine::transmit_frame(const std::shared_ptr<TxState>& st) {
+  auto outcome = [this, st](sim::Time at, bool delivered) {
+    on_wire_outcome(st, at, delivered);
+  };
+  if (switch_) {
+    switch_->transmit_observed(st->msg.src, st->dst, st->payload_bytes,
+                               std::move(outcome));
+    return;
+  }
+  if (!bus_.transmit(st->msg.src, st->dst, st->payload_bytes,
+                     std::move(outcome))) {
+    // Tail drop: nothing went on the wire, so the outcome callback will
+    // never run.  Release the window now; a reliable frame stays pending
+    // for the retransmit timer, a best-effort frame settles as lost.
+    on_wire_outcome(st, engine_.now(), false);
+  }
+}
+
+void VirtualMachine::on_wire_outcome(const std::shared_ptr<TxState>& st,
+                                     sim::Time at, bool delivered) {
+  if (!st->window_released) {
+    st->window_released = true;
+    Task* sender = tasks_.at(st->msg.src).get();
+    sender->in_flight_bytes_ -= st->payload_bytes;
     if (sender->waiting_for_window_) {
       sender->waiting_for_window_ = false;
       sender->process_->resume();
     }
-  };
+  }
+  if (delivered) {
+    deliver_frame(st, at);
+  } else if (!st->reliable) {
+    // A lost best-effort frame settles as undelivered right away; a lost
+    // reliable frame is recovered by the retransmit timer.
+    settle(st, false);
+  }
+}
 
-  Task* receiver = tasks_.at(dst).get();
-  if (dst == src) {
-    // Local delivery: no wire time, still ordered via an event.
-    engine_.schedule(engine_.now(),
-                     [receiver, m = std::move(msg), release_window,
-                      cb = std::move(after_delivery)]() mutable {
-                       m.delivered_at = receiver->vm_.engine_.now();
-                       receiver->deliver(std::move(m));
-                       release_window();
-                       if (cb) cb();
-                     });
-    return true;
+void VirtualMachine::deliver_frame(const std::shared_ptr<TxState>& st,
+                                   sim::Time at) {
+  Task* receiver = tasks_.at(st->dst).get();
+
+  if (st->msg.tag == kAckTag) {
+    // Transport control frame: settle the acknowledged data frame and stop.
+    Packet p = st->msg.payload;
+    p.rewind();
+    const std::uint64_t seq = p.unpack_u64();
+    // The ACK's destination is the original data sender; its source is the
+    // node that received the data.
+    if (auto it = pending_tx_.find({st->dst, st->msg.src, seq});
+        it != pending_tx_.end()) {
+      settle(it->second, true);
+    }
+    settle(st, true);
+    return;
   }
 
-  auto deliver = [receiver, m = std::move(msg), release_window,
-                  cb = std::move(after_delivery)](sim::Time delivered_at) mutable {
-    m.delivered_at = delivered_at;
-    receiver->deliver(std::move(m));
-    release_window();
-    if (cb) cb();
-  };
-  if (switch_) {
-    switch_->transmit(src, dst, payload_bytes, std::move(deliver));
-    return true;
+  if (st->msg.seq != 0) {
+    send_ack(st->dst, st->msg.src, st->msg.seq);
+    if (!receiver->rx_seq_[static_cast<std::size_t>(st->msg.src)].fresh(
+            st->msg.seq)) {
+      // Replay (retransmit racing the original, or a fault duplicate):
+      // drop after re-ACKing so the sender still learns of delivery.
+      ++transport_stats_.dup_frames_dropped;
+      return;
+    }
   }
-  const bool accepted = bus_.transmit(payload_bytes, std::move(deliver));
-  if (!accepted) release_window();  // Tail drop: nothing stays in flight.
-  return accepted;
+
+  Message m = st->msg;  // Copy: fault duplicates may deliver a second time.
+  m.delivered_at = at;
+  receiver->deliver(std::move(m));
+  if (!st->reliable) settle(st, true);
+  // Reliable frames settle when their ACK returns (or retransmission is
+  // exhausted), so on_settled reports end-to-end fate, not wire fate.
+}
+
+void VirtualMachine::settle(const std::shared_ptr<TxState>& st,
+                            bool delivered) {
+  if (st->settled) return;
+  st->settled = true;
+  if (st->retx_timer != 0) {
+    engine_.cancel_watchdog(st->retx_timer);
+    st->retx_timer = 0;
+  }
+  if (st->msg.seq != 0) {
+    pending_tx_.erase({st->msg.src, st->dst, st->msg.seq});
+  }
+  if (st->on_settled) {
+    auto cb = std::move(st->on_settled);
+    st->on_settled = nullptr;
+    cb(delivered);
+  }
+}
+
+void VirtualMachine::arm_retx_timer(const std::shared_ptr<TxState>& st) {
+  st->retx_timer =
+      engine_.set_watchdog(engine_.now() + st->rto, [this, st] {
+        st->retx_timer = 0;
+        if (st->settled) return;
+        if (st->attempts >= config_.transport.max_attempts) {
+          ++transport_stats_.retx_abandoned;
+          obs_.tracer().instant(st->msg.src, "rt.retx_abandon", engine_.now(),
+                                "dst", st->dst, "seq",
+                                static_cast<std::int64_t>(st->msg.seq));
+          settle(st, false);
+          return;
+        }
+        ++st->attempts;
+        ++transport_stats_.retransmissions;
+        obs_.tracer().instant(st->msg.src, "rt.retx", engine_.now(), "dst",
+                              st->dst, "seq",
+                              static_cast<std::int64_t>(st->msg.seq));
+        st->rto = static_cast<sim::Time>(static_cast<double>(st->rto) *
+                                         config_.transport.backoff);
+        transmit_frame(st);
+        arm_retx_timer(st);
+      });
+}
+
+void VirtualMachine::send_ack(int from, int to, std::uint64_t seq) {
+  ++transport_stats_.acks_sent;
+  Packet p;
+  p.pack_u64(seq);
+  post(from, to, kAckTag, std::move(p), {}, Reliability::kBestEffort);
 }
 
 double VirtualMachine::network_utilization() const noexcept {
@@ -211,6 +410,24 @@ VirtualMachine::VirtualMachine(MachineConfig config)
   if (config_.network == Network::kSp2Switch) {
     switch_ = std::make_unique<net::SwitchFabric>(engine_, config_.ntasks,
                                                   config_.sp2_switch);
+  }
+  if (!config_.fault.empty()) {
+    injector_ = std::make_unique<fault::FaultInjector>(config_.fault);
+    bus_.set_fault_injector(injector_.get());
+    if (switch_) switch_->set_fault_injector(injector_.get());
+  }
+  if (obs_.active()) {
+    // Route every frame death (tail drop or injected fault) into a named
+    // registry counter so lossy runs can be audited from the metrics dump.
+    auto drop_hook = [this](int src, int dst, std::uint32_t bytes,
+                            const char* reason) {
+      (void)src;
+      (void)dst;
+      (void)bytes;
+      obs_.registry().counter(std::string("net.drops.") + reason).inc();
+    };
+    bus_.set_drop_hook(drop_hook);
+    if (switch_) switch_->set_drop_hook(drop_hook);
   }
   if (obs_.active()) {
     engine_.set_tracer(&obs_.tracer());
@@ -263,15 +480,35 @@ void VirtualMachine::flush_stats() {
   const net::BusStats& bs = bus_.stats();
   reg.counter("net.frames_sent").inc(bs.frames_sent);
   reg.counter("net.frames_dropped").inc(bs.frames_dropped);
+  reg.counter("net.frames_lost").inc(bs.frames_lost);
+  reg.counter("net.frames_duplicated").inc(bs.frames_duplicated);
+  reg.counter("net.frames_delayed").inc(bs.frames_delayed);
   reg.counter("net.payload_bytes").inc(bs.payload_bytes);
   reg.counter("net.wire_bytes").inc(bs.wire_bytes);
   reg.counter("net.busy_time_ns").inc(static_cast<std::uint64_t>(bs.busy_time));
   if (switch_) {
     const net::SwitchStats& ss = switch_->stats();
     reg.counter("net.switch.messages").inc(ss.messages);
+    reg.counter("net.switch.frames_lost").inc(ss.frames_lost);
+    reg.counter("net.switch.frames_duplicated").inc(ss.frames_duplicated);
+    reg.counter("net.switch.frames_delayed").inc(ss.frames_delayed);
     reg.counter("net.switch.payload_bytes").inc(ss.payload_bytes);
     reg.counter("net.switch.tx_busy_time_ns")
         .inc(static_cast<std::uint64_t>(ss.tx_busy_time));
+  }
+  reg.counter("rt.retransmissions").inc(transport_stats_.retransmissions);
+  reg.counter("rt.retx_abandoned").inc(transport_stats_.retx_abandoned);
+  reg.counter("rt.acks_sent").inc(transport_stats_.acks_sent);
+  reg.counter("rt.dup_frames_dropped")
+      .inc(transport_stats_.dup_frames_dropped);
+  if (injector_) {
+    const fault::FaultStats& fs = injector_->stats();
+    reg.counter("fault.frames_judged").inc(fs.frames_judged);
+    reg.counter("fault.frames_lost").inc(fs.frames_lost);
+    reg.counter("fault.outage_drops").inc(fs.outage_drops);
+    reg.counter("fault.crash_drops").inc(fs.crash_drops);
+    reg.counter("fault.frames_duplicated").inc(fs.frames_duplicated);
+    reg.counter("fault.frames_delayed").inc(fs.frames_delayed);
   }
   reg.gauge("net.utilization").set(network_utilization());
   reg.gauge("warp.mean").set(warp_.samples() > 0 ? warp_.overall().mean()
@@ -300,6 +537,7 @@ sim::Time VirtualMachine::run(sim::Time until) {
   for (int id = 0; id < config_.ntasks; ++id) {
     tasks_.push_back(std::unique_ptr<Task>(
         new Task(*this, id, root.split(static_cast<std::uint64_t>(id)))));
+    tasks_.back()->rx_seq_.resize(static_cast<std::size_t>(config_.ntasks));
   }
   for (int id = 0; id < config_.ntasks; ++id) {
     Task* task = tasks_[id].get();

@@ -12,15 +12,20 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <tuple>
+#include <unordered_map>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "net/shared_bus.hpp"
 #include "net/switch_fabric.hpp"
 #include "obs/obs.hpp"
 #include "rt/packet.hpp"
+#include "rt/transport.hpp"
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
 #include "util/rng.hpp"
@@ -38,11 +43,15 @@ inline constexpr int kBarrierReleaseTag = kReservedTagBase + 2;
 inline constexpr int kDsmUpdateTag = kReservedTagBase + 3;
 /// Tag for DSM read-demand requests (the requesting Global_Read impl).
 inline constexpr int kDsmRequestTag = kReservedTagBase + 4;
+/// Transport-layer acknowledgement frames (never reach a mailbox).
+inline constexpr int kAckTag = kReservedTagBase + 5;
 
 struct Message {
   int src = -1;
   int tag = 0;
   Packet payload;
+  /// Transport sequence number; 0 = unsequenced (best-effort frame).
+  std::uint64_t seq = 0;
   sim::Time sent_at = 0;       ///< When the sender handed it to the network.
   sim::Time delivered_at = 0;  ///< When it reached the receiver's mailbox.
 };
@@ -73,6 +82,12 @@ struct MachineConfig {
   /// Observability outputs (tracing, metrics time series); off by default,
   /// in which case every instrumentation site is a single predicted branch.
   obs::Options obs;
+  /// Fault plan for the interconnect (empty = perfect network).  When
+  /// non-empty the VM owns a deterministic FaultInjector wired into the
+  /// active interconnect.
+  fault::FaultPlan fault;
+  /// Reliable-transport layer (sequence/ACK/retransmit); off by default.
+  ReliabilityConfig transport;
 };
 
 struct TaskStats {
@@ -109,10 +124,15 @@ class Task {
   /// delivered locally, free of wire time).
   void send(int dst, int tag, Packet payload);
 
-  /// Like send(), with a callback run (engine context) at delivery time.
-  /// The DSM uses it to track in-flight updates for coalescing.
+  /// Like send(), with a settlement callback run (engine context) once the
+  /// message's fate is known: `on_settled(true)` after first delivery (or
+  /// transport ACK when the frame is reliable), `on_settled(false)` when it
+  /// was lost / tail-dropped / abandoned after retransmission.  Runs exactly
+  /// once.  The DSM uses it to track in-flight updates for coalescing and to
+  /// resend the newest pending value after a loss.
   void send_observed(int dst, int tag, Packet payload,
-                     std::function<void()> after_delivery);
+                     std::function<void(bool delivered)> on_settled,
+                     Reliability reliability = Reliability::kAuto);
 
   /// Send to every other task (PVM mcast over Ethernet = serial sends).
   void broadcast(int tag, const Packet& payload);
@@ -120,6 +140,10 @@ class Task {
   /// Blocking receive of the first queued message matching `tag`
   /// (kAnyTag matches any application tag).  Charges receive overhead.
   Message recv(int tag = kAnyTag);
+
+  /// Like recv() but gives up after `timeout` of virtual time and returns
+  /// nullopt.  The DSM starvation watchdog is built on this.
+  std::optional<Message> recv_timeout(int tag, sim::Time timeout);
 
   /// Non-blocking receive; charges receive overhead only on success.
   std::optional<Message> try_recv(int tag = kAnyTag);
@@ -129,6 +153,14 @@ class Task {
 
   /// Coordinator barrier over real messages (task 0 collects and releases).
   void barrier();
+
+  /// Register an engine-context consumer for a reserved tag: matching
+  /// messages are handed to `handler` at delivery time instead of being
+  /// mailboxed.  This lets the DSM serve read demands even while the task
+  /// body is blocked in a barrier or Global_Read (the mutual-blocking
+  /// deadlock a polled mailbox cannot escape).  One handler per tag;
+  /// an empty handler unregisters.
+  void set_tag_handler(int tag, std::function<void(Message)> handler);
 
  private:
   friend class VirtualMachine;
@@ -146,8 +178,11 @@ class Task {
   std::deque<Message> mailbox_;
   bool waiting_ = false;
   int waiting_tag_ = kAnyTag;
+  bool timed_out_ = false;
   std::uint64_t in_flight_bytes_ = 0;
   bool waiting_for_window_ = false;
+  std::unordered_map<int, std::function<void(Message)>> tag_handlers_;
+  std::vector<SeqTracker> rx_seq_;  ///< Per-source duplicate filters.
   TaskStats stats_;
 };
 
@@ -167,11 +202,13 @@ class VirtualMachine {
 
   /// Low-level message injection: puts `payload` on the wire from `src` to
   /// `dst` without charging sender CPU (usable from engine context; the DSM
-  /// "daemon" uses it for deferred coalesced updates).  `after_delivery`
-  /// runs in engine context right after the message lands in the mailbox.
-  /// Returns false when the bus tail-dropped the message.
+  /// "daemon" uses it for deferred coalesced updates).  `on_settled` runs in
+  /// engine context exactly once when the message's fate is decided — see
+  /// Task::send_observed.  Returns false when the bus tail-dropped the
+  /// message and the transport will not retry it.
   bool post(int src, int dst, int tag, Packet payload,
-            std::function<void()> after_delivery = {});
+            std::function<void(bool delivered)> on_settled = {},
+            Reliability reliability = Reliability::kAuto);
 
   [[nodiscard]] int size() const noexcept { return config_.ntasks; }
   [[nodiscard]] Task& task(int id) { return *tasks_.at(id); }
@@ -188,10 +225,46 @@ class VirtualMachine {
   [[nodiscard]] const obs::Hub& obs() const noexcept { return obs_; }
   [[nodiscard]] const MachineConfig& config() const noexcept { return config_; }
   [[nodiscard]] bool deadlocked() const noexcept { return engine_.deadlocked(); }
+  /// Diagnostic snapshot of blocked tasks (see sim::Engine::blocked_report).
+  [[nodiscard]] std::string blocked_report() const {
+    return engine_.blocked_report();
+  }
+  /// The fault injector attached to the interconnect, or nullptr when the
+  /// configured FaultPlan is empty.
+  [[nodiscard]] fault::FaultInjector* fault_injector() noexcept {
+    return injector_.get();
+  }
+  [[nodiscard]] const TransportStats& transport_stats() const noexcept {
+    return transport_stats_;
+  }
 
  private:
   friend class Task;
 
+  /// One in-flight frame.  Kept alive (shared with network callbacks and the
+  /// retransmit timer) until settled; reliable frames hold the payload for
+  /// retransmission.
+  struct TxState {
+    Message msg;
+    int dst = -1;
+    std::uint32_t payload_bytes = 0;
+    bool reliable = false;
+    bool settled = false;
+    bool window_released = false;
+    int attempts = 1;
+    sim::Time rto = 0;
+    sim::Engine::WatchdogId retx_timer = 0;
+    std::function<void(bool)> on_settled;
+  };
+
+  [[nodiscard]] bool reliable_for(int tag, Reliability reliability) const;
+  void transmit_frame(const std::shared_ptr<TxState>& st);
+  void on_wire_outcome(const std::shared_ptr<TxState>& st, sim::Time at,
+                       bool delivered);
+  void deliver_frame(const std::shared_ptr<TxState>& st, sim::Time at);
+  void settle(const std::shared_ptr<TxState>& st, bool delivered);
+  void arm_retx_timer(const std::shared_ptr<TxState>& st);
+  void send_ack(int from, int to, std::uint64_t seq);
   void flush_stats();
 
   MachineConfig config_;
@@ -199,7 +272,14 @@ class VirtualMachine {
   sim::Engine engine_;
   net::SharedBus bus_;
   std::unique_ptr<net::SwitchFabric> switch_;  ///< Set for kSp2Switch.
+  std::unique_ptr<fault::FaultInjector> injector_;  ///< Set iff plan non-empty.
   warp::WarpMeter warp_;
+  TransportStats transport_stats_;
+  /// Next sequence number per (src,dst) reliable stream (starts at 1).
+  std::map<std::pair<int, int>, std::uint64_t> tx_seq_;
+  /// Unacked reliable frames, keyed (src, dst, seq).
+  std::map<std::tuple<int, int, std::uint64_t>, std::shared_ptr<TxState>>
+      pending_tx_;
   std::vector<std::unique_ptr<Task>> tasks_;
   std::vector<std::pair<std::string, std::function<void(Task&)>>> bodies_;
 };

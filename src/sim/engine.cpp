@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <limits>
+#include <sstream>
 #include <utility>
 
 namespace nscc::sim {
@@ -76,6 +77,36 @@ void Engine::schedule(Time t, std::function<void()> fn) {
   assert(t >= now_ && "cannot schedule an event in the virtual past");
   queue_.push(Event{t, next_seq_++, std::move(fn)});
   queue_drained_ = false;
+}
+
+Engine::WatchdogId Engine::set_watchdog(Time t, std::function<void()> fn) {
+  const WatchdogId id = next_watchdog_++;
+  live_watchdogs_.insert(id);
+  schedule(t, [this, id, f = std::move(fn)] {
+    if (live_watchdogs_.erase(id) != 0) f();
+  });
+  return id;
+}
+
+bool Engine::cancel_watchdog(WatchdogId id) noexcept {
+  return live_watchdogs_.erase(id) != 0;
+}
+
+std::string Engine::blocked_report() const {
+  static constexpr const char* kStateNames[] = {"ready", "running", "blocked",
+                                                "finished"};
+  std::ostringstream os;
+  os << "engine: t=" << now_ << "ns events=" << events_executed_
+     << (queue_drained_ ? " queue=drained" : " queue=pending")
+     << " live=" << live_processes() << "\n";
+  for (const auto& p : processes_) {
+    if (p->finished()) continue;
+    os << "  process " << p->id() << " '" << p->name() << "' state="
+       << kStateNames[static_cast<int>(p->state())]
+       << (p->resume_scheduled_ ? " (resume pending)" : " (no pending resume)")
+       << "\n";
+  }
+  return os.str();
 }
 
 void Engine::run_process(Process& p) {

@@ -18,6 +18,7 @@
 #include <memory>
 #include <queue>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "obs/sampler.hpp"
@@ -93,6 +94,21 @@ class Engine {
   /// Schedule a plain event callback at virtual time `t` (>= now).
   void schedule(Time t, std::function<void()> fn);
 
+  /// Watchdog-timer API: like schedule(), but cancelable.  A canceled
+  /// watchdog's event still occupies the queue until `t` and then does
+  /// nothing (so cancellation cannot unblock run()'s termination early, it
+  /// only suppresses the callback).  Used for receive timeouts and the DSM
+  /// starvation watchdog.
+  using WatchdogId = std::uint64_t;
+  WatchdogId set_watchdog(Time t, std::function<void()> fn);
+  /// Returns true when the watchdog had not fired yet (and now never will).
+  bool cancel_watchdog(WatchdogId id) noexcept;
+
+  /// Human-readable diagnostic of every unfinished process (name, id,
+  /// state) plus queue/clock status — what you want printed when a run
+  /// deadlocks.  Cheap enough to call unconditionally after run().
+  [[nodiscard]] std::string blocked_report() const;
+
   /// Run until the event queue drains, the clock passes `until`, or
   /// `stop_when` (checked after every event) returns true.  Returns the
   /// final virtual time.
@@ -153,6 +169,8 @@ class Engine {
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
+  WatchdogId next_watchdog_ = 1;
+  std::unordered_set<WatchdogId> live_watchdogs_;
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
   std::vector<std::unique_ptr<Process>> processes_;
   Process* current_ = nullptr;

@@ -60,6 +60,9 @@ struct ParallelJacobiConfig : JacobiConfig {
   /// OS-load model, as in the other applications.
   double node_speed_spread = 0.15;
   double per_sweep_jitter = 0.10;
+  /// Global_Read starvation watchdog budget (0 = off); see
+  /// dsm::PropagationPolicy::read_timeout.  Lossy-network drivers set it.
+  sim::Time read_timeout = 0;
 };
 
 struct ParallelJacobiResult : JacobiResult {

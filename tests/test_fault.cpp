@@ -1,0 +1,522 @@
+// Tests for the robustness stack: the deterministic fault injector, the
+// reliable transport (sequence/ACK/retransmit/dedup), the Global_Read
+// starvation watchdog, Packet hardening against truncated frames, the
+// engine watchdog-timer API, and the --loss-rate/--fault-seed/
+// --read-timeout-ms driver flags.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dsm/shared_space.hpp"
+#include "fault/fault.hpp"
+#include "obs/obs.hpp"
+#include "rt/packet.hpp"
+#include "rt/transport.hpp"
+#include "rt/vm.hpp"
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+using nscc::dsm::PropagationPolicy;
+using nscc::dsm::SharedSpace;
+using nscc::fault::FaultInjector;
+using nscc::fault::FaultPlan;
+using nscc::fault::Window;
+using nscc::rt::MachineConfig;
+using nscc::rt::Packet;
+using nscc::rt::SeqTracker;
+using nscc::rt::Task;
+using nscc::rt::VirtualMachine;
+using nscc::sim::kMillisecond;
+using nscc::sim::kSecond;
+using nscc::sim::Time;
+
+/// Zero software/bus overheads so virtual timings in tests are easy to
+/// reason about (same idiom as test_dsm).
+MachineConfig fast_config(int ntasks) {
+  MachineConfig c;
+  c.ntasks = ntasks;
+  c.bus.propagation_delay = 0;
+  c.bus.frame_overhead_bytes = 0;
+  c.send_sw_overhead = 0;
+  c.recv_sw_overhead = 0;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjector, SameSeedSamePlanSameVerdicts) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.link.loss_prob = 0.1;
+  plan.link.dup_prob = 0.05;
+  plan.link.delay_prob = 0.2;
+  plan.link.delay_max = 3 * kMillisecond;
+
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  for (int i = 0; i < 2000; ++i) {
+    const Time now = i * 100;
+    const auto va = a.judge(i % 4, (i + 1) % 4, now, now + 50);
+    const auto vb = b.judge(i % 4, (i + 1) % 4, now, now + 50);
+    ASSERT_EQ(va.drop, vb.drop) << "frame " << i;
+    ASSERT_EQ(va.duplicate, vb.duplicate) << "frame " << i;
+    ASSERT_EQ(va.extra_delay, vb.extra_delay) << "frame " << i;
+    ASSERT_EQ(va.duplicate_delay, vb.duplicate_delay) << "frame " << i;
+  }
+  EXPECT_EQ(a.stats().frames_lost, b.stats().frames_lost);
+  EXPECT_EQ(a.stats().frames_duplicated, b.stats().frames_duplicated);
+  EXPECT_EQ(a.stats().frames_delayed, b.stats().frames_delayed);
+}
+
+TEST(FaultInjector, LossRateRoughlyHonoured) {
+  FaultPlan plan;
+  plan.link.loss_prob = 0.1;
+  FaultInjector inj(plan);
+  constexpr int kFrames = 20000;
+  for (int i = 0; i < kFrames; ++i) (void)inj.judge(0, 1, i, i + 1);
+  EXPECT_EQ(inj.stats().frames_judged, kFrames);
+  // 10% +- a generous sampling tolerance.
+  EXPECT_GT(inj.stats().frames_lost, kFrames / 10 / 2);
+  EXPECT_LT(inj.stats().frames_lost, kFrames / 10 * 2);
+  EXPECT_EQ(inj.stats().frames_duplicated, 0u);
+  EXPECT_EQ(inj.stats().frames_delayed, 0u);
+}
+
+TEST(FaultInjector, OutageDropsEveryFrameInWindow) {
+  FaultPlan plan;
+  plan.outages.push_back(Window{100, 200});
+  FaultInjector inj(plan);
+  EXPECT_TRUE(inj.judge(0, 1, 150, 160).drop);
+  EXPECT_TRUE(inj.judge(0, 1, 100, 110).drop);   // Start is inclusive.
+  EXPECT_FALSE(inj.judge(0, 1, 200, 210).drop);  // End is exclusive.
+  EXPECT_FALSE(inj.judge(0, 1, 50, 60).drop);
+  EXPECT_EQ(inj.stats().outage_drops, 2u);
+  EXPECT_EQ(inj.stats().frames_lost, 2u);
+}
+
+TEST(FaultInjector, CrashedNodeLosesBothDirections) {
+  FaultPlan plan;
+  plan.nodes[2].crashes.push_back(Window{0, 1000});
+  FaultInjector inj(plan);
+  EXPECT_TRUE(inj.judge(0, 2, 10, 20).drop);   // To the crashed node.
+  EXPECT_TRUE(inj.judge(2, 0, 10, 20).drop);   // From it.
+  EXPECT_FALSE(inj.judge(0, 1, 10, 20).drop);  // Bystanders unaffected.
+  EXPECT_FALSE(inj.judge(0, 2, 1000, 1010).drop);  // After restart.
+  EXPECT_EQ(inj.stats().crash_drops, 2u);
+}
+
+TEST(FaultInjector, PauseHoldsDeliveryUntilWindowEnds) {
+  FaultPlan plan;
+  plan.nodes[1].pauses.push_back(Window{0, 500});
+  FaultInjector inj(plan);
+  const auto v = inj.judge(0, 1, 10, 20);
+  EXPECT_FALSE(v.drop);
+  EXPECT_EQ(v.extra_delay, 480);  // Arrival 20 held until 500.
+  const auto after = inj.judge(0, 1, 600, 610);
+  EXPECT_EQ(after.extra_delay, 0);
+}
+
+// ---------------------------------------------------------------------------
+// SeqTracker
+// ---------------------------------------------------------------------------
+
+TEST(SeqTracker, DropsReplaysAcceptsOutOfOrder) {
+  SeqTracker t;
+  EXPECT_TRUE(t.fresh(1));
+  EXPECT_FALSE(t.fresh(1));  // Straight replay.
+  EXPECT_TRUE(t.fresh(3));   // Leapfrogged a delayed frame.
+  EXPECT_FALSE(t.fresh(3));
+  EXPECT_TRUE(t.fresh(2));   // The delayed frame finally lands.
+  EXPECT_FALSE(t.fresh(2));
+  EXPECT_FALSE(t.fresh(1));  // Old replays stay dead after the merge.
+  EXPECT_TRUE(t.fresh(4));
+}
+
+// ---------------------------------------------------------------------------
+// Reliable transport over a lossy wire
+// ---------------------------------------------------------------------------
+
+TEST(Transport, HeavyLossDeliversEveryMessageExactlyOnce) {
+  MachineConfig cfg = fast_config(2);
+  cfg.fault.seed = 7;
+  cfg.fault.link.loss_prob = 0.3;
+  cfg.transport.enabled = true;
+  cfg.transport.ack_timeout = 5 * kMillisecond;
+  VirtualMachine vm(cfg);
+
+  constexpr int kMessages = 50;
+  std::multiset<int> got;
+  vm.add_task("sender", [](Task& t) {
+    for (int i = 0; i < kMessages; ++i) {
+      Packet p;
+      p.pack_i32(i);
+      t.send(1, 7, std::move(p));
+      t.compute(kMillisecond);
+    }
+  });
+  vm.add_task("receiver", [&](Task& t) {
+    for (int i = 0; i < kMessages; ++i) {
+      got.insert(t.recv(7).payload.unpack_i32());
+    }
+  });
+  vm.run();
+
+  ASSERT_FALSE(vm.deadlocked());
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kMessages));
+  for (int i = 0; i < kMessages; ++i) {
+    EXPECT_EQ(got.count(i), 1u) << "message " << i;
+  }
+  EXPECT_GT(vm.transport_stats().retransmissions, 0u);
+  EXPECT_EQ(vm.transport_stats().retx_abandoned, 0u);
+  EXPECT_GT(vm.transport_stats().acks_sent, 0u);
+}
+
+TEST(Transport, DuplicatedFramesAreDeduplicated) {
+  MachineConfig cfg = fast_config(2);
+  cfg.fault.seed = 3;
+  cfg.fault.link.dup_prob = 1.0;  // Every frame delivered twice.
+  cfg.fault.link.delay_max = kMillisecond;
+  cfg.transport.enabled = true;
+  VirtualMachine vm(cfg);
+
+  constexpr int kMessages = 10;
+  int received = 0;
+  vm.add_task("sender", [](Task& t) {
+    for (int i = 0; i < kMessages; ++i) {
+      Packet p;
+      p.pack_i32(i);
+      t.send(1, 7, std::move(p));
+      t.compute(5 * kMillisecond);
+    }
+  });
+  vm.add_task("receiver", [&](Task& t) {
+    for (int i = 0; i < kMessages; ++i) {
+      (void)t.recv(7);
+      ++received;
+    }
+  });
+  vm.run();
+
+  ASSERT_FALSE(vm.deadlocked());
+  EXPECT_EQ(received, kMessages);
+  EXPECT_GE(vm.transport_stats().dup_frames_dropped,
+            static_cast<std::uint64_t>(kMessages) / 2);
+}
+
+TEST(Transport, BarriersSurviveLoss) {
+  MachineConfig cfg = fast_config(4);
+  cfg.fault.seed = 11;
+  cfg.fault.link.loss_prob = 0.2;
+  cfg.transport.enabled = true;
+  cfg.transport.ack_timeout = 5 * kMillisecond;
+  VirtualMachine vm(cfg);
+
+  constexpr int kRounds = 20;
+  for (int id = 0; id < 4; ++id) {
+    vm.add_task("t" + std::to_string(id), [](Task& t) {
+      for (int r = 0; r < kRounds; ++r) {
+        t.compute(kMillisecond);
+        t.barrier();
+      }
+    });
+  }
+  vm.run();
+  EXPECT_FALSE(vm.deadlocked());
+}
+
+// ---------------------------------------------------------------------------
+// Global_Read starvation watchdog
+// ---------------------------------------------------------------------------
+
+// The regression the watchdog exists for: the writer's single update frame
+// is destroyed on the wire (a scheduled outage covers its transmission), the
+// writer never writes that location again, and the reader sits in the
+// paper's kWait Global_Read.  Without a read_timeout this deadlocks (see
+// test_dsm's GlobalReadUnsatisfiableDeadlocksDetectably); with one, the
+// reader escalates to an explicit demand and the writer's request handler
+// serves the copy back over the reliable channel.
+TEST(Dsm, WatchdogRecoversSingleDroppedUpdate) {
+  MachineConfig cfg = fast_config(2);
+  cfg.fault.seed = 1;
+  cfg.fault.outages.push_back(Window{0, 2 * kMillisecond});
+  cfg.transport.enabled = true;
+  VirtualMachine vm(cfg);
+
+  std::uint64_t escalations = 0;
+  std::uint64_t requests = 0;
+  double got = 0.0;
+  std::int64_t got_iter = -1;
+
+  vm.add_task("writer", [](Task& t) {
+    SharedSpace space(t);
+    space.declare_written(1, {1});
+    Packet p;
+    p.pack_double(6.25);
+    space.write(1, 5, std::move(p));  // Transmitted inside the outage: lost.
+    // Stay alive so the escalated demand finds the request handler; the
+    // handler runs in engine context even while this task is computing.
+    t.compute(kSecond);
+  });
+  vm.add_task("reader", [&](Task& t) {
+    PropagationPolicy policy;
+    policy.read_timeout = 20 * kMillisecond;
+    SharedSpace space(t, policy);
+    space.declare_read(1, 0);
+    const auto& v = space.global_read(1, 5, 0);
+    got = [&] {
+      Packet copy = v.data;
+      return copy.unpack_double();
+    }();
+    got_iter = v.iteration;
+    escalations = space.stats().read_escalations;
+    requests = space.stats().requests_sent;
+  });
+  vm.run();
+
+  ASSERT_FALSE(vm.deadlocked());
+  EXPECT_EQ(got, 6.25);
+  EXPECT_EQ(got_iter, 5);
+  EXPECT_GE(escalations, 1u);
+  EXPECT_GE(requests, 1u);
+  EXPECT_GE(vm.fault_injector()->stats().outage_drops, 1u);
+}
+
+// Escalation backs off but keeps demanding: even when the demand replies
+// themselves ride a very lossy wire, the reliable request channel plus
+// repeated escalation terminate the read.
+TEST(Dsm, WatchdogSurvivesLossyDemandPath) {
+  MachineConfig cfg = fast_config(2);
+  cfg.fault.seed = 13;
+  cfg.fault.link.loss_prob = 0.4;
+  cfg.transport.enabled = true;
+  cfg.transport.ack_timeout = 5 * kMillisecond;
+  VirtualMachine vm(cfg);
+
+  bool satisfied = false;
+  vm.add_task("writer", [](Task& t) {
+    SharedSpace space(t);
+    space.declare_written(1, {1});
+    for (int i = 0; i <= 30; ++i) {
+      Packet p;
+      p.pack_double(i);
+      space.write(1, i, std::move(p));
+      t.compute(10 * kMillisecond);
+    }
+  });
+  vm.add_task("reader", [&](Task& t) {
+    PropagationPolicy policy;
+    policy.read_timeout = 15 * kMillisecond;
+    SharedSpace space(t, policy);
+    space.declare_read(1, 0);
+    for (int i = 0; i <= 30; i += 5) {
+      const auto& v = space.global_read(1, i, 2);
+      ASSERT_TRUE(v.valid);
+      ASSERT_GE(v.iteration, i - 2);
+    }
+    satisfied = true;
+  });
+  vm.run();
+  EXPECT_FALSE(vm.deadlocked());
+  EXPECT_TRUE(satisfied);
+}
+
+// ---------------------------------------------------------------------------
+// Packet hardening (truncated / corrupt frames)
+// ---------------------------------------------------------------------------
+
+TEST(Packet, TruncatedFramesThrowInsteadOfOverrunning) {
+  Packet p;
+  p.pack_i32(3);
+  p.pack_u64(77);
+  p.pack_double_vec({1.0, 2.0, 3.0});
+  const std::size_t full = p.byte_size();
+
+  // The intact frame round-trips.
+  {
+    Packet copy = p.truncated(full);
+    EXPECT_EQ(copy.unpack_i32(), 3);
+    EXPECT_EQ(copy.unpack_u64(), 77u);
+    EXPECT_EQ(copy.unpack_double_vec().size(), 3u);
+  }
+  // Every proper prefix fails loudly somewhere in the unpack sequence.
+  for (std::size_t n = 0; n < full; ++n) {
+    Packet cut = p.truncated(n);
+    EXPECT_THROW(
+        {
+          (void)cut.unpack_i32();
+          (void)cut.unpack_u64();
+          (void)cut.unpack_double_vec();
+        },
+        std::out_of_range)
+        << "prefix length " << n;
+  }
+}
+
+TEST(Packet, CorruptVectorLengthThrows) {
+  // A frame whose vector-length header promises far more elements than the
+  // buffer holds (and would overflow a naive count * sizeof multiply).
+  Packet p;
+  p.pack_u64(~0ULL);
+  EXPECT_THROW((void)p.unpack_double_vec(), std::out_of_range);
+}
+
+// ---------------------------------------------------------------------------
+// Engine watchdog-timer API
+// ---------------------------------------------------------------------------
+
+TEST(EngineWatchdog, FiresAtItsDeadline) {
+  nscc::sim::Engine engine;
+  Time fired_at = -1;
+  engine.set_watchdog(100, [&] { fired_at = engine.now(); });
+  engine.run();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(EngineWatchdog, CancelSuppressesTheCallback) {
+  nscc::sim::Engine engine;
+  bool fired = false;
+  const auto id = engine.set_watchdog(100, [&] { fired = true; });
+  EXPECT_TRUE(engine.cancel_watchdog(id));
+  EXPECT_FALSE(engine.cancel_watchdog(id));  // Already gone.
+  const Time end = engine.run();
+  EXPECT_FALSE(fired);
+  // The canceled event still drained through the queue at its deadline.
+  EXPECT_EQ(end, 100);
+}
+
+TEST(Engine, BlockedReportNamesStuckTasks) {
+  MachineConfig cfg = fast_config(2);
+  VirtualMachine vm(cfg);
+  vm.add_task("finisher", [](Task& t) { t.compute(kMillisecond); });
+  vm.add_task("stuck-reader", [](Task& t) { (void)t.recv(99); });
+  vm.run();
+  ASSERT_TRUE(vm.deadlocked());
+  const std::string report = vm.blocked_report();
+  EXPECT_NE(report.find("stuck-reader"), std::string::npos) << report;
+  EXPECT_EQ(report.find("finisher"), std::string::npos) << report;
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: same (seed, plan) => byte-identical metrics output
+// ---------------------------------------------------------------------------
+
+std::string run_lossy_workload(nscc::rt::Network network,
+                               const std::string& metrics_path) {
+  MachineConfig cfg = fast_config(2);
+  cfg.network = network;
+  cfg.fault.seed = 0xFA17;
+  cfg.fault.link.loss_prob = 0.05;
+  cfg.fault.link.dup_prob = 0.02;
+  cfg.fault.link.delay_prob = 0.1;
+  cfg.fault.link.delay_max = kMillisecond;
+  cfg.transport.enabled = true;
+  cfg.transport.ack_timeout = 5 * kMillisecond;
+  cfg.obs.enable = true;
+  cfg.obs.metrics_path = metrics_path;
+  cfg.obs.sample_interval = 10 * kMillisecond;
+  VirtualMachine vm(cfg);
+
+  vm.add_task("writer", [](Task& t) {
+    SharedSpace space(t);
+    space.declare_written(1, {1});
+    for (int i = 0; i < 40; ++i) {
+      Packet p;
+      p.pack_double(i);
+      space.write(1, i, std::move(p));
+      t.compute(5 * kMillisecond);
+    }
+  });
+  vm.add_task("reader", [](Task& t) {
+    PropagationPolicy policy;
+    policy.read_timeout = 15 * kMillisecond;
+    SharedSpace space(t, policy);
+    space.declare_read(1, 0);
+    for (int i = 0; i < 40; i += 4) {
+      (void)space.global_read(1, i, 3);
+      t.compute(2 * kMillisecond);
+    }
+  });
+  vm.run();
+  EXPECT_FALSE(vm.deadlocked());
+
+  std::ifstream in(metrics_path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << metrics_path;
+  std::ostringstream content;
+  content << in.rdbuf();
+  return content.str();
+}
+
+TEST(Determinism, LossyRunMetricsAreByteIdenticalEthernet) {
+  const std::string dir = ::testing::TempDir();
+  const std::string a =
+      run_lossy_workload(nscc::rt::Network::kEthernet, dir + "fault_eth_a.json");
+  const std::string b =
+      run_lossy_workload(nscc::rt::Network::kEthernet, dir + "fault_eth_b.json");
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Determinism, LossyRunMetricsAreByteIdenticalSp2) {
+  const std::string dir = ::testing::TempDir();
+  const std::string a =
+      run_lossy_workload(nscc::rt::Network::kSp2Switch, dir + "fault_sp2_a.json");
+  const std::string b =
+      run_lossy_workload(nscc::rt::Network::kSp2Switch, dir + "fault_sp2_b.json");
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Driver flags
+// ---------------------------------------------------------------------------
+
+TEST(FaultFlags, RoundTripThroughPlan) {
+  nscc::util::Flags flags;
+  nscc::fault::add_flags(flags);
+  const char* argv[] = {"prog", "--loss-rate=0.25", "--fault-seed=99",
+                        "--read-timeout-ms=7.5"};
+  ASSERT_TRUE(flags.parse(4, const_cast<char**>(argv)));
+
+  const FaultPlan plan = nscc::fault::plan_from_flags(flags);
+  EXPECT_EQ(plan.seed, 99u);
+  EXPECT_DOUBLE_EQ(plan.link.loss_prob, 0.25);
+  EXPECT_FALSE(plan.empty());
+  EXPECT_EQ(nscc::fault::read_timeout_from_flags(flags),
+            static_cast<Time>(7.5 * static_cast<double>(kMillisecond)));
+}
+
+TEST(FaultFlags, DefaultsAreAPerfectNetwork) {
+  nscc::util::Flags flags;
+  nscc::fault::add_flags(flags);
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.parse(1, const_cast<char**>(argv)));
+  EXPECT_TRUE(nscc::fault::plan_from_flags(flags).empty());
+  EXPECT_EQ(nscc::fault::read_timeout_from_flags(flags), 0);
+}
+
+TEST(FaultFlags, EnvironmentOverrides) {
+  ::setenv("NSCC_LOSS_RATE", "0.5", 1);
+  ::setenv("NSCC_READ_TIMEOUT_MS", "4", 1);
+  nscc::util::Flags flags;
+  nscc::fault::add_flags(flags);
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.parse(1, const_cast<char**>(argv)));
+  ::unsetenv("NSCC_LOSS_RATE");
+  ::unsetenv("NSCC_READ_TIMEOUT_MS");
+
+  const FaultPlan plan = nscc::fault::plan_from_flags(flags);
+  EXPECT_DOUBLE_EQ(plan.link.loss_prob, 0.5);
+  EXPECT_EQ(nscc::fault::read_timeout_from_flags(flags), 4 * kMillisecond);
+}
+
+}  // namespace
