@@ -19,6 +19,7 @@
 
 #include "fault/fault.hpp"
 #include "ga/island.hpp"
+#include "harness/sweep.hpp"
 #include "obs/obs.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
@@ -74,7 +75,10 @@ int main(int argc, char** argv) {
       .add_bool("csv", false, "also emit CSV");
   nscc::obs::add_flags(flags);
   nscc::fault::add_flags(flags);
+  nscc::harness::Sweep sweep("ext_faults");
+  nscc::harness::Sweep::add_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+  sweep.configure(flags);
   const int demes = static_cast<int>(flags.get_int("demes"));
   const int generations = static_cast<int>(flags.get_int("generations"));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
@@ -114,9 +118,26 @@ int main(int argc, char** argv) {
           .cell(cell.frames_lost)
           .cell(cell.retransmissions)
           .cell(cell.escalations);
+      nscc::harness::SweepRecord rec;
+      rec.workload = "ga.island";
+      rec.variant = age == 0 ? "sync" : "partial";
+      rec.age = age;
+      rec.seed = seed;
+      rec.repeat = 0;
+      rec.params = {{"loss", loss},
+                    {"demes", static_cast<double>(demes)},
+                    {"generations", static_cast<double>(generations)}};
+      rec.stats = {{"completion_s", cell.completion_s},
+                   {"vs_fault_free", cell.completion_s / base[i].completion_s},
+                   {"frames_lost", static_cast<double>(cell.frames_lost)},
+                   {"retransmissions",
+                    static_cast<double>(cell.retransmissions)},
+                   {"read_escalations", static_cast<double>(cell.escalations)},
+                   {"deadlocked", cell.deadlocked ? 1.0 : 0.0}};
+      sweep.add(std::move(rec));
     }
   }
   table.print(std::cout);
   if (flags.get_bool("csv")) std::cout << '\n' << table.to_csv();
-  return 0;
+  return sweep.write() ? 0 : 1;
 }

@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
       cfg.processors = static_cast<int>(flags.get_int("processors"));
       cfg.tolerance = flags.get_double("tolerance");
       cfg.check_interval = 25;
-      cfg.coalesce = mode == nscc::dsm::Mode::kPartialAsync;
+      cfg.propagation.coalesce = mode == nscc::dsm::Mode::kPartialAsync;
       cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
       const auto r =
           nscc::solver::run_parallel_jacobi(sys, cfg, {}, load_mbps * 1e6);

@@ -8,12 +8,26 @@
 // Defaults are reduced for a quick run; --paper-scale restores the paper's
 // 1000-generation, 25-repetition protocol (expect a long run).
 #include <iostream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "exp/ga_experiments.hpp"
+#include "harness/sweep.hpp"
 #include "sim/time.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+/// Map an exp:: variant name onto the harness (variant, age) pair:
+/// "age10" -> ("partial", 10); "serial"/"sync"/"async" keep their names.
+std::pair<std::string, long> split_variant(const std::string& name) {
+  if (name.rfind("age", 0) == 0) return {"partial", std::stol(name.substr(3))};
+  return {name, 0};
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   nscc::util::Flags flags;
@@ -24,7 +38,10 @@ int main(int argc, char** argv) {
       .add_int("seed", 1, "base seed")
       .add_bool("paper-scale", false, "paper protocol: 1000 gens, 25 reps")
       .add_bool("csv", false, "also emit CSV");
+  nscc::harness::Sweep sweep("fig2_ga_unloaded");
+  nscc::harness::Sweep::add_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+  sweep.configure(flags);
 
   int generations = static_cast<int>(flags.get_int("generations"));
   int reps = static_cast<int>(flags.get_int("reps"));
@@ -58,6 +75,28 @@ int main(int argc, char** argv) {
       cfg.reps = reps;
       cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
       cells.push_back(nscc::exp::run_ga_cell(cfg));
+      // Each variant's aggregated cell (means over reps -> repeat = -1).
+      for (const auto& v : cells.back().variants) {
+        const auto [variant, age] = split_variant(v.name);
+        nscc::harness::SweepRecord rec;
+        rec.workload = "ga.island";
+        rec.variant = variant;
+        rec.age = age;
+        rec.seed = cfg.seed;
+        rec.repeat = -1;
+        rec.params = {{"processors", static_cast<double>(P)},
+                      {"function", static_cast<double>(f)},
+                      {"generations", static_cast<double>(generations)},
+                      {"reps", static_cast<double>(reps)}};
+        rec.stats = {{"speedup", v.speedup},
+                     {"mean_time_s", v.mean_time_s},
+                     {"final_best", v.final_best},
+                     {"mean_generations", v.mean_generations},
+                     {"quality_ok_fraction", v.quality_ok_fraction},
+                     {"bus_utilization", v.bus_utilization},
+                     {"mean_warp", v.mean_warp}};
+        sweep.add(std::move(rec));
+      }
     }
     const auto avg = nscc::exp::average_cells(cells);
 
@@ -116,5 +155,5 @@ int main(int argc, char** argv) {
     std::cout << '\n';
     if (flags.get_bool("csv")) std::cout << table.to_csv() << '\n';
   }
-  return 0;
+  return sweep.write() ? 0 : 1;
 }

@@ -4,10 +4,22 @@
 // belief networks of Table 2, plus the cross-network average and the
 // "best partial over best competitor" bar.
 #include <iostream>
+#include <string>
+#include <utility>
 
 #include "exp/bayes_experiments.hpp"
+#include "harness/sweep.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+std::pair<std::string, long> split_variant(const std::string& name) {
+  if (name.rfind("age", 0) == 0) return {"partial", std::stol(name.substr(3))};
+  return {name, 0};
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   nscc::util::Flags flags;
@@ -16,7 +28,10 @@ int main(int argc, char** argv) {
       .add_int("seed", 21, "base seed")
       .add_bool("paper-scale", false, "paper protocol: 10 reps")
       .add_bool("csv", false, "also emit CSV");
+  nscc::harness::Sweep sweep("fig3_bayes");
+  nscc::harness::Sweep::add_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+  sweep.configure(flags);
 
   nscc::exp::BayesCellConfig cfg;
   cfg.reps = flags.get_bool("paper-scale")
@@ -28,6 +43,29 @@ int main(int argc, char** argv) {
   std::vector<nscc::exp::BayesCellResult> cells;
   for (const auto& net : nscc::exp::table2_networks()) {
     cells.push_back(nscc::exp::run_bayes_cell(net, cfg));
+    // Aggregated per-variant records (means over reps -> repeat = -1); the
+    // belief-network instance rides on the workload name after ':'.
+    const std::size_t net_index = cells.size() - 1;
+    for (const auto& v : cells.back().variants) {
+      const auto [variant, age] = split_variant(v.name);
+      nscc::harness::SweepRecord rec;
+      rec.workload = "bayes.sampling:" + cells.back().network;
+      rec.variant = variant;
+      rec.age = age;
+      rec.seed = cfg.seed;
+      rec.repeat = -1;
+      rec.params = {{"processors", static_cast<double>(cfg.processors)},
+                    {"network_index", static_cast<double>(net_index)},
+                    {"queries", static_cast<double>(cfg.queries_per_net)},
+                    {"reps", static_cast<double>(cfg.reps)}};
+      rec.stats = {{"speedup", v.speedup},
+                   {"mean_time_s", v.mean_time_s},
+                   {"converged_fraction", v.converged_fraction},
+                   {"rollbacks", v.rollbacks},
+                   {"nodes_resampled", v.nodes_resampled},
+                   {"mean_warp", v.mean_warp}};
+      sweep.add(std::move(rec));
+    }
   }
   const auto avg = nscc::exp::average_bayes_cells(cells);
 
@@ -79,5 +117,5 @@ int main(int argc, char** argv) {
   std::cout << '\n';
   diag.print(std::cout);
   if (flags.get_bool("csv")) std::cout << '\n' << table.to_csv();
-  return 0;
+  return sweep.write() ? 0 : 1;
 }

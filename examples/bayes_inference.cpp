@@ -7,111 +7,17 @@
 // All modes converge to the same posteriors; the table shows what each one
 // pays to get there.
 //
-//   $ ./examples/bayes_inference [--age 10] [--iterations 6000]
-#include <cstdio>
-#include <iostream>
-
-#include "bayes/logic_sampling.hpp"
-#include "bayes/parallel_sampling.hpp"
-#include "fault/fault.hpp"
-#include "obs/obs.hpp"
-#include "util/flags.hpp"
-#include "util/table.hpp"
-
-using namespace nscc;
-
-namespace {
-
-/// The paper's Figure 1: A -> {B, C}; {B, C} -> D; C -> E.
-bayes::BeliefNetwork figure1() {
-  bayes::BeliefNetwork net;
-  const auto a = net.add_node("metastatic-cancer", 2);
-  const auto b = net.add_node("serum-calcium", 2);
-  const auto c = net.add_node("brain-tumor", 2);
-  const auto d = net.add_node("coma", 2);
-  const auto e = net.add_node("headache", 2);
-  net.set_parents(b, {a});
-  net.set_parents(c, {a});
-  net.set_parents(d, {b, c});
-  net.set_parents(e, {c});
-  net.set_cpt(a, {0.80, 0.20});
-  net.set_cpt(b, {0.80, 0.20, 0.20, 0.80});
-  net.set_cpt(c, {0.95, 0.05, 0.20, 0.80});
-  net.set_cpt(d, {0.95, 0.05, 0.40, 0.60, 0.30, 0.70, 0.20, 0.80});
-  net.set_cpt(e, {0.90, 0.10, 0.30, 0.70});
-  net.validate();
-  return net;
-}
-
-}  // namespace
+//   $ ./examples/bayes_inference [--age=10] [--iterations=6000]
+//                                [--variants=sync,async,partial]
+#include "harness/driver.hpp"
 
 int main(int argc, char** argv) {
-  util::Flags flags;
-  flags.add_int("age", 10, "Global_Read staleness bound")
-      .add_int("iterations", 6000, "sampling iterations for parallel runs")
-      .add_int("seed", 11, "random seed");
-  obs::add_flags(flags);
-  fault::add_flags(flags);
-  if (!flags.parse(argc, argv)) return 1;
-  const obs::Options obs_options = obs::options_from_flags(flags);
-  const fault::FaultPlan fault_plan = fault::plan_from_flags(flags);
-
-  const auto net = figure1();
-  // Query: P(coma = true | metastatic-cancer = true).
-  const std::vector<bayes::Evidence> evidence = {{0, 1}};
-  const std::vector<bayes::Query> queries = {{3, 1}, {4, 1}};
-
-  bayes::InferenceConfig serial_cfg;
-  serial_cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
-  const auto serial = bayes::run_logic_sampling(net, evidence, queries, serial_cfg);
-  std::printf("sequential logic sampling: %llu runs (%llu evidence-consistent), "
-              "%.2fs virtual\n",
-              static_cast<unsigned long long>(serial.samples_drawn),
-              static_cast<unsigned long long>(serial.samples_used),
-              sim::to_seconds(serial.completion_time));
-
-  util::Table table("P(coma | cancer) and P(headache | cancer), 2 nodes");
-  table.columns({"variant", "P(coma)", "P(headache)", "time s", "rollbacks",
-                 "nodes resampled", "messages"});
-  table.row()
-      .cell("sequential")
-      .cell(serial.estimates[0].probability, 3)
-      .cell(serial.estimates[1].probability, 3)
-      .cell(sim::to_seconds(serial.completion_time), 2)
-      .cell("-")
-      .cell("-")
-      .cell("-");
-
-  for (auto [label, mode, age] :
-       {std::tuple{"synchronous", dsm::Mode::kSynchronous, 0L},
-        {"asynchronous", dsm::Mode::kAsynchronous, 0L},
-        {"Global_Read", dsm::Mode::kPartialAsync, flags.get_int("age")}}) {
-    bayes::ParallelInferenceConfig cfg;
-    cfg.mode = mode;
-    cfg.age = age;
-    cfg.iterations = static_cast<std::uint64_t>(flags.get_int("iterations"));
-    cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
-    cfg.read_timeout = fault::read_timeout_from_flags(flags);
-    rt::MachineConfig machine;
-    machine.fault = fault_plan;
-    machine.transport.enabled = !fault_plan.empty();
-    // Trace/sample only the Global_Read variant (rollback instants show up
-    // on the per-node tracks).
-    if (mode == dsm::Mode::kPartialAsync) machine.obs = obs_options;
-    const auto r =
-        bayes::run_parallel_logic_sampling(net, evidence, queries, cfg, machine);
-    table.row()
-        .cell(label)
-        .cell(r.estimates[0].probability, 3)
-        .cell(r.estimates[1].probability, 3)
-        .cell(sim::to_seconds(r.completion_time), 2)
-        .cell(r.rollbacks)
-        .cell(r.nodes_resampled)
-        .cell(r.messages_sent);
-  }
-  table.print(std::cout);
-  std::printf("\nAll parallel variants converge to identical validated\n"
-              "posteriors (counter-based randomness); they differ only in\n"
-              "time, messages, and rollback work.\n");
-  return 0;
+  nscc::harness::DriveOptions options;
+  options.workload = "bayes.sampling";
+  options.flag_defaults = {{"seed", "11"}};
+  options.epilogue =
+      "All parallel variants converge to identical validated posteriors\n"
+      "(counter-based randomness); they differ only in time, messages, and\n"
+      "rollback work.";
+  return nscc::harness::drive(argc, argv, options);
 }

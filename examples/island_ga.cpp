@@ -5,76 +5,21 @@
 // bound — and prints completion time, solution quality, and the mechanism
 // counters that explain the differences.
 //
-//   $ ./examples/island_ga [--demes 8] [--generations 150] [--age 10]
+//   $ ./examples/island_ga [--demes=8] [--generations=150] [--age=10]
+//                          [--variants=sync,async,partial] [--network=sp2]
 //
 // With --trace-out=trace.json / --metrics-out=metrics.csv the Global_Read
 // variant's run is traced (load trace.json in Perfetto / chrome://tracing)
 // and sampled into a virtual-time series.
-#include <cstdio>
-#include <iostream>
-
-#include "fault/fault.hpp"
-#include "ga/island.hpp"
-#include "obs/obs.hpp"
-#include "util/flags.hpp"
-#include "util/table.hpp"
-
-using namespace nscc;
+#include "harness/driver.hpp"
 
 int main(int argc, char** argv) {
-  util::Flags flags;
-  flags.add_int("demes", 8, "number of islands (simulated nodes)")
-      .add_int("generations", 150, "generations per deme")
-      .add_int("function", 6, "test function 1..8 (6 = Rastrigin)")
-      .add_int("age", 10, "staleness bound for the Global_Read variant")
-      .add_int("seed", 7, "random seed");
-  obs::add_flags(flags);
-  fault::add_flags(flags);
-  if (!flags.parse(argc, argv)) return 1;
-  const obs::Options obs_options = obs::options_from_flags(flags);
-  const fault::FaultPlan fault_plan = fault::plan_from_flags(flags);
-
-  util::Table table("Island GA on " +
-                    ga::test_function(static_cast<int>(flags.get_int("function")))
-                        .name);
-  table.columns({"variant", "completion s", "best fitness", "avg fitness",
-                 "messages", "gr blocks", "block time s", "bus util"});
-
-  for (auto [label, mode, age] :
-       {std::tuple{"synchronous", dsm::Mode::kSynchronous, 0L},
-        {"asynchronous", dsm::Mode::kAsynchronous, 0L},
-        {"Global_Read", dsm::Mode::kPartialAsync, flags.get_int("age")}}) {
-    ga::IslandConfig cfg;
-    cfg.function_id = static_cast<int>(flags.get_int("function"));
-    cfg.mode = mode;
-    cfg.age = age;
-    cfg.ndemes = static_cast<int>(flags.get_int("demes"));
-    cfg.generations = static_cast<int>(flags.get_int("generations"));
-    cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
-    cfg.propagation.coalesce = mode == dsm::Mode::kPartialAsync;
-    cfg.propagation.read_timeout = fault::read_timeout_from_flags(flags);
-    rt::MachineConfig machine;
-    machine.fault = fault_plan;
-    machine.transport.enabled = !fault_plan.empty();
-    // Observe only the Global_Read variant so --trace-out / --metrics-out
-    // capture exactly one run (the one the paper's mechanism is about).
-    if (mode == dsm::Mode::kPartialAsync) machine.obs = obs_options;
-    const auto r = ga::run_island_ga(cfg, machine);
-    table.row()
-        .cell(label)
-        .cell(sim::to_seconds(r.completion_time), 2)
-        .cell(r.best_fitness, 4)
-        .cell(r.final_average, 4)
-        .cell(r.messages_sent)
-        .cell(r.global_read_blocks)
-        .cell(sim::to_seconds(r.global_read_block_time), 2)
-        .cell(r.bus_utilization, 2);
-  }
-  table.print(std::cout);
-  std::printf(
-      "\nThe Global_Read variant trades bounded staleness (age=%lld) for\n"
-      "overlap of communication with computation; the synchronous variant\n"
-      "pays a barrier plus fresh-data waits every generation.\n",
-      static_cast<long long>(flags.get_int("age")));
-  return 0;
+  nscc::harness::DriveOptions options;
+  options.workload = "ga.island";
+  options.flag_defaults = {{"seed", "7"}};
+  options.epilogue =
+      "The Global_Read variant trades bounded staleness for overlap of\n"
+      "communication with computation; the synchronous variant pays a\n"
+      "barrier plus fresh-data waits every generation.";
+  return nscc::harness::drive(argc, argv, options);
 }

@@ -7,83 +7,16 @@
 // asynchronous-convergence theorem in action: every consistency mode
 // reaches the solution; they differ in sweeps and time.
 //
-//   $ ./examples/jacobi_solver [--grid 16] [--processors 4] [--age 10]
-#include <cstdio>
-#include <iostream>
-
-#include "fault/fault.hpp"
-#include "obs/obs.hpp"
-#include "solver/jacobi.hpp"
-#include "util/flags.hpp"
-#include "util/table.hpp"
-
-using namespace nscc;
+//   $ ./examples/jacobi_solver [--grid=16] [--processors=4] [--age=10]
+//                              [--variants=sync,async,partial]
+#include "harness/driver.hpp"
 
 int main(int argc, char** argv) {
-  util::Flags flags;
-  flags.add_int("grid", 16, "Poisson grid side (n x n unknowns)")
-      .add_int("processors", 4, "simulated nodes")
-      .add_int("age", 10, "Global_Read staleness bound")
-      .add_double("tolerance", 1e-7, "residual tolerance")
-      .add_int("seed", 5, "random seed");
-  obs::add_flags(flags);
-  fault::add_flags(flags);
-  if (!flags.parse(argc, argv)) return 1;
-  const obs::Options obs_options = obs::options_from_flags(flags);
-  const fault::FaultPlan fault_plan = fault::plan_from_flags(flags);
-
-  const auto sys = solver::make_poisson_2d(
-      static_cast<int>(flags.get_int("grid")),
-      static_cast<std::uint64_t>(flags.get_int("seed")));
-  std::printf("system: %d unknowns, %zu nonzeros, strictly dominant: %s\n",
-              sys.size(), sys.a.nonzeros(),
-              sys.a.strictly_diagonally_dominant() ? "yes" : "no");
-
-  solver::JacobiConfig seq_cfg;
-  seq_cfg.tolerance = flags.get_double("tolerance");
-  const auto serial = solver::run_sequential_jacobi(sys, seq_cfg);
-  std::printf("sequential: %d sweeps, %.2fs virtual, residual %.2e\n\n",
-              serial.sweeps, sim::to_seconds(serial.completion_time),
-              serial.residual);
-
-  util::Table table("Parallel Jacobi, P=" +
-                    std::to_string(flags.get_int("processors")));
-  table.columns({"variant", "sweeps", "time s", "speedup", "residual",
-                 "error", "gr blocks"});
-  for (auto [label, mode, age] :
-       {std::tuple{"synchronous", dsm::Mode::kSynchronous, 0L},
-        {"asynchronous", dsm::Mode::kAsynchronous, 0L},
-        {"Global_Read", dsm::Mode::kPartialAsync, flags.get_int("age")}}) {
-    solver::ParallelJacobiConfig cfg;
-    cfg.mode = mode;
-    cfg.age = age;
-    cfg.processors = static_cast<int>(flags.get_int("processors"));
-    cfg.tolerance = flags.get_double("tolerance");
-    cfg.check_interval = 25;
-    cfg.coalesce = mode == dsm::Mode::kPartialAsync;
-    cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
-    cfg.read_timeout = fault::read_timeout_from_flags(flags);
-    rt::MachineConfig machine;
-    machine.fault = fault_plan;
-    machine.transport.enabled = !fault_plan.empty();
-    // Trace/sample only the Global_Read variant.
-    if (mode == dsm::Mode::kPartialAsync) machine.obs = obs_options;
-    const auto r = solver::run_parallel_jacobi(sys, cfg, machine);
-    char residual[32];
-    char error[32];
-    std::snprintf(residual, sizeof residual, "%.2e", r.residual);
-    std::snprintf(error, sizeof error, "%.2e", r.error_inf);
-    table.row()
-        .cell(label)
-        .cell(static_cast<std::int64_t>(r.sweeps))
-        .cell(sim::to_seconds(r.completion_time), 2)
-        .cell(static_cast<double>(serial.completion_time) /
-                  static_cast<double>(r.completion_time),
-              2)
-        .cell(residual)
-        .cell(error)
-        .cell(r.global_read_blocks);
-  }
-  table.print(std::cout);
-  return 0;
+  nscc::harness::DriveOptions options;
+  options.workload = "solver.jacobi";
+  options.flag_defaults = {{"seed", "5"}};
+  options.epilogue =
+      "Bounded staleness licenses coalescing of boundary updates; the\n"
+      "asynchronous variants pay extra sweeps but win wall-clock time.";
+  return nscc::harness::drive(argc, argv, options);
 }

@@ -3,69 +3,36 @@
 // Reproduces the paper's loaded-network scenario in miniature: an island GA
 // on four simulated nodes shares the 10 Mbps Ethernet with a background
 // load generator.  As the offered load rises, watch the synchronous
-// variant's completion time climb while the Global_Read variant holds —
-// and watch the warp metric report the rising load.
+// variant's completion time climb while the Global_Read variant holds.
 //
-//   $ ./examples/loaded_network [--generations 120]
-#include <cstdio>
-#include <iostream>
-
-#include "fault/fault.hpp"
-#include "ga/island.hpp"
-#include "obs/obs.hpp"
-#include "util/flags.hpp"
+//   $ ./examples/loaded_network [--generations=120] [--variants=sync,partial]
+#include "harness/driver.hpp"
 #include "util/table.hpp"
 
-using namespace nscc;
-
 int main(int argc, char** argv) {
-  util::Flags flags;
-  flags.add_int("generations", 120, "generations per deme")
-      .add_int("demes", 4, "GA nodes (the paper used 4 + 2 loader nodes)")
-      .add_int("seed", 3, "random seed");
-  obs::add_flags(flags);
-  fault::add_flags(flags);
-  if (!flags.parse(argc, argv)) return 1;
-  const obs::Options obs_options = obs::options_from_flags(flags);
-  const fault::FaultPlan fault_plan = fault::plan_from_flags(flags);
-
-  util::Table table("Island GA (f1) vs background Ethernet load");
-  table.columns({"load Mbps", "variant", "completion s", "bus util",
-                 "mean warp", "gr block s"});
-
-  for (double load_mbps : {0.0, 2.0, 4.0, 6.0}) {
-    for (auto [label, mode, age] :
-         {std::tuple{"sync", dsm::Mode::kSynchronous, 0L},
-          {"async", dsm::Mode::kAsynchronous, 0L},
-          {"age20", dsm::Mode::kPartialAsync, 20L}}) {
-      ga::IslandConfig cfg;
-      cfg.function_id = 1;
-      cfg.mode = mode;
-      cfg.age = age;
-      cfg.ndemes = static_cast<int>(flags.get_int("demes"));
-      cfg.generations = static_cast<int>(flags.get_int("generations"));
-      cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
-      cfg.propagation.coalesce = mode == dsm::Mode::kPartialAsync;
-      cfg.propagation.read_timeout = fault::read_timeout_from_flags(flags);
-      rt::MachineConfig machine;
-      machine.fault = fault_plan;
-      machine.transport.enabled = !fault_plan.empty();
-      // Each traced run overwrites the output files, so what remains is the
-      // Global_Read run under the heaviest load — the interesting one.
-      if (mode == dsm::Mode::kPartialAsync) machine.obs = obs_options;
-      const auto r = ga::run_island_ga(cfg, machine, load_mbps * 1e6);
-      table.row()
-          .cell(load_mbps, 1)
-          .cell(label)
-          .cell(sim::to_seconds(r.completion_time), 2)
-          .cell(r.bus_utilization, 2)
-          .cell(r.mean_warp, 3)
-          .cell(sim::to_seconds(r.global_read_block_time), 2);
+  using namespace nscc;
+  harness::DriveOptions options;
+  options.workload = "ga.island";
+  options.title = "Island GA (f1) vs background Ethernet load";
+  options.default_age = 20;
+  options.flag_defaults = {{"function", "1"},
+                           {"demes", "4"},
+                           {"generations", "120"},
+                           {"seed", "3"}};
+  options.scenario_column = "load Mbps";
+  options.scenarios = [](const util::Flags&) {
+    std::vector<harness::Scenario> scenarios;
+    for (double load_mbps : {0.0, 2.0, 4.0, 6.0}) {
+      harness::Scenario s;
+      s.label = util::format_double(load_mbps, 1);
+      s.loader_offered_bps = load_mbps * 1e6;
+      scenarios.push_back(s);
     }
-  }
-  table.print(std::cout);
-  std::printf("\nThe receiver-driven flow control of Global_Read prevents\n"
-              "the initial onset of congestion instead of reacting to it\n"
-              "(the paper's closing argument against Warp-style control).\n");
-  return 0;
+    return scenarios;
+  };
+  options.epilogue =
+      "The receiver-driven flow control of Global_Read prevents the\n"
+      "initial onset of congestion instead of reacting to it (the paper's\n"
+      "closing argument against Warp-style control).";
+  return harness::drive(argc, argv, options);
 }

@@ -14,87 +14,48 @@
 // bounded staleness means a lost update usually doesn't matter, and the
 // watchdog recovers the rare read that would otherwise starve.
 //
-//   $ ./examples/lossy_network [--loss-rate 0.02] [--fault-seed 99]
+//   $ ./examples/lossy_network [--loss-rate=0.02] [--fault-seed=99]
 //
 // With --loss-rate > 0 the sweep is {0, that rate}; otherwise a default
 // ladder of loss rates is swept.  --read-timeout-ms overrides the
 // starvation watchdog budget (default here: 50 ms).
-#include <cstdio>
-#include <iostream>
-#include <vector>
-
 #include "fault/fault.hpp"
-#include "ga/island.hpp"
-#include "obs/obs.hpp"
+#include "harness/driver.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
-using namespace nscc;
-
 int main(int argc, char** argv) {
-  util::Flags flags;
-  flags.add_int("generations", 120, "generations per deme")
-      .add_int("demes", 4, "GA nodes")
-      .add_int("age", 10, "staleness bound for the Global_Read variant")
-      .add_int("seed", 3, "random seed");
-  obs::add_flags(flags);
-  fault::add_flags(flags);
-  if (!flags.parse(argc, argv)) return 1;
-  const obs::Options obs_options = obs::options_from_flags(flags);
-
-  std::vector<double> losses = {0.0, 0.001, 0.01, 0.05};
-  if (flags.get_double("loss-rate") > 0.0) {
-    losses = {0.0, flags.get_double("loss-rate")};
-  }
-  // The watchdog is the point of this example: default it on.
-  sim::Time read_timeout = fault::read_timeout_from_flags(flags);
-  if (read_timeout == 0) read_timeout = 50 * sim::kMillisecond;
-
-  util::Table table("Island GA (f1) vs frame loss");
-  table.columns({"loss", "variant", "completion s", "frames lost", "retx",
-                 "escalations", "gr block s"});
-
-  for (double loss : losses) {
-    fault::FaultPlan plan;
-    plan.seed = static_cast<std::uint64_t>(flags.get_int("fault-seed"));
-    plan.link.loss_prob = loss;
-
-    for (auto [label, mode, age] :
-         {std::tuple{"sync", dsm::Mode::kSynchronous, 0L},
-          {"Global_Read", dsm::Mode::kPartialAsync, flags.get_int("age")}}) {
-      ga::IslandConfig cfg;
-      cfg.function_id = 1;
-      cfg.mode = mode;
-      cfg.age = age;
-      cfg.ndemes = static_cast<int>(flags.get_int("demes"));
-      cfg.generations = static_cast<int>(flags.get_int("generations"));
-      cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
-      cfg.propagation.coalesce = mode == dsm::Mode::kPartialAsync;
-      cfg.propagation.read_timeout = read_timeout;
-      rt::MachineConfig machine;
-      machine.fault = plan;
-      machine.transport.enabled = !plan.empty();
-      // The surviving trace/metrics files describe the Global_Read run
-      // under the heaviest loss — the one where the recovery machinery
-      // actually fires.
-      if (mode == dsm::Mode::kPartialAsync && loss == losses.back()) {
-        machine.obs = obs_options;
-      }
-      const auto r = ga::run_island_ga(cfg, machine);
-      table.row()
-          .cell(util::format_double(loss * 100.0, 1) + " %")
-          .cell(label)
-          .cell(sim::to_seconds(r.completion_time), 2)
-          .cell(r.frames_lost)
-          .cell(r.retransmissions)
-          .cell(r.read_escalations)
-          .cell(sim::to_seconds(r.global_read_block_time), 2);
+  using namespace nscc;
+  harness::DriveOptions options;
+  options.workload = "ga.island";
+  options.title = "Island GA (f1) vs frame loss";
+  options.default_variants = "sync,partial";
+  options.flag_defaults = {{"function", "1"},
+                           {"demes", "4"},
+                           {"generations", "120"},
+                           {"seed", "3"},
+                           {"read-timeout-ms", "50"}};
+  options.scenario_column = "loss";
+  options.scenarios = [](const util::Flags& flags) {
+    std::vector<double> losses = {0.0, 0.001, 0.01, 0.05};
+    if (flags.get_double("loss-rate") > 0.0) {
+      losses = {0.0, flags.get_double("loss-rate")};
     }
-  }
-  table.print(std::cout);
-  std::printf("\nLost frames cost the synchronous variant a retransmission\n"
-              "round-trip on the critical path; the Global_Read variant\n"
-              "absorbs most losses inside its staleness budget and the\n"
-              "watchdog demands the few copies a reader truly needs.\n");
-  return 0;
+    std::vector<harness::Scenario> scenarios;
+    for (double loss : losses) {
+      harness::Scenario s;
+      s.label = util::format_double(loss * 100.0, 1) + " %";
+      s.has_fault = true;
+      s.fault.seed = static_cast<std::uint64_t>(flags.get_int("fault-seed"));
+      s.fault.link.loss_prob = loss;
+      scenarios.push_back(s);
+    }
+    return scenarios;
+  };
+  options.epilogue =
+      "Lost frames cost the synchronous variant a retransmission\n"
+      "round-trip on the critical path; the Global_Read variant absorbs\n"
+      "most losses inside its staleness budget and the watchdog demands\n"
+      "the few copies a reader truly needs.";
+  return harness::drive(argc, argv, options);
 }

@@ -1,76 +1,21 @@
 // Example: bounded-staleness neural-network training (the paper's named
 // future-work application).  Four workers and a parameter server train a
-// small MLP on the two-spirals task; Global_Read bounds how stale the
-// parameters any worker computes gradients against can be.
+// small MLP on the two-spirals task over an SP2 switch; Global_Read bounds
+// how stale the parameters any worker computes gradients against can be.
 //
-//   $ ./examples/neural_training [--age 2] [--steps 500]
-#include <cstdio>
-#include <iostream>
-
-#include "fault/fault.hpp"
-#include "nn/train.hpp"
-#include "obs/obs.hpp"
-#include "util/flags.hpp"
-#include "util/table.hpp"
-
-using namespace nscc;
+//   $ ./examples/neural_training [--age=2] [--steps=500] [--workers=4]
+//                                [--variants=sync,async,partial]
+#include "harness/driver.hpp"
 
 int main(int argc, char** argv) {
-  util::Flags flags;
-  flags.add_int("age", 2, "staleness bound (rounds) for Global_Read")
-      .add_int("steps", 500, "mini-batch steps per worker")
-      .add_int("workers", 4, "worker nodes")
-      .add_int("seed", 7, "random seed");
-  obs::add_flags(flags);
-  fault::add_flags(flags);
-  if (!flags.parse(argc, argv)) return 1;
-  const obs::Options obs_options = obs::options_from_flags(flags);
-  const fault::FaultPlan fault_plan = fault::plan_from_flags(flags);
-
-  const auto data = nn::make_two_spirals(60, 0.02,
-                                         static_cast<std::uint64_t>(
-                                             flags.get_int("seed")));
-  nn::TrainConfig cfg;
-  cfg.steps = static_cast<int>(flags.get_int("steps"));
-  cfg.workers = static_cast<int>(flags.get_int("workers"));
-  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
-  cfg.read_timeout = fault::read_timeout_from_flags(flags);
-
-  const auto serial = nn::train_sequential(data, cfg);
-  std::printf("serial: loss %.4f, accuracy %.2f, %.2fs virtual\n",
-              serial.final_loss, serial.final_accuracy,
-              sim::to_seconds(serial.completion_time));
-
-  rt::MachineConfig machine;
-  machine.network = rt::Network::kSp2Switch;
-  machine.fault = fault_plan;
-  machine.transport.enabled = !fault_plan.empty();
-
-  util::Table table("Two-spirals MLP, " +
-                    std::to_string(flags.get_int("workers")) +
-                    " workers + parameter server (SP2 switch)");
-  table.columns({"variant", "loss", "accuracy", "time s", "staleness",
-                 "gr blocks"});
-  for (auto [label, mode, age] :
-       {std::tuple{"synchronous SGD", dsm::Mode::kSynchronous, 0L},
-        {"uncontrolled async", dsm::Mode::kAsynchronous, 0L},
-        {"Global_Read SGD", dsm::Mode::kPartialAsync, flags.get_int("age")}}) {
-    cfg.mode = mode;
-    cfg.age = age;
-    // Trace/sample only the Global_Read variant.
-    machine.obs = mode == dsm::Mode::kPartialAsync ? obs_options : obs::Options{};
-    const auto r = nn::train_parallel(data, cfg, machine);
-    table.row()
-        .cell(label)
-        .cell(r.final_loss, 4)
-        .cell(r.final_accuracy, 2)
-        .cell(sim::to_seconds(r.completion_time), 2)
-        .cell(r.mean_staleness, 1)
-        .cell(r.global_read_blocks);
-  }
-  table.print(std::cout);
-  std::printf("\nStale-gradient SGD tolerates *bounded* staleness; the\n"
-              "uncontrolled run's parameters drift hundreds of rounds stale\n"
-              "on a skewed cluster and the model pays for it.\n");
-  return 0;
+  nscc::harness::DriveOptions options;
+  options.workload = "nn.train";
+  options.default_age = 2;
+  options.default_network = nscc::rt::Network::kSp2Switch;
+  options.flag_defaults = {{"seed", "7"}};
+  options.epilogue =
+      "Stale-gradient SGD tolerates *bounded* staleness; the uncontrolled\n"
+      "run's parameters drift hundreds of rounds stale on a skewed cluster\n"
+      "and the model pays for it.";
+  return nscc::harness::drive(argc, argv, options);
 }

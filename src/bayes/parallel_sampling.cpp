@@ -165,7 +165,8 @@ ParallelInferenceResult run_parallel_logic_sampling(
         return -1;
       };
 
-      dsm::SharedSpace space(task, {.read_timeout = config.read_timeout});
+      dsm::SharedSpace space(task,
+                             {.read_timeout = config.propagation.read_timeout});
       for (int k = 0; k <= max_phase; ++k) {
         if (live(me, k)) space.declare_written(block_loc(me, k), all_others);
       }

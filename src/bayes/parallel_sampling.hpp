@@ -34,13 +34,16 @@
 #include "bayes/logic_sampling.hpp"
 #include "bayes/partitioner.hpp"
 #include "dsm/shared_space.hpp"
+#include "harness/run_config.hpp"
 #include "rt/vm.hpp"
 
 namespace nscc::bayes {
 
-struct ParallelInferenceConfig {
-  dsm::Mode mode = dsm::Mode::kSynchronous;
-  dsm::Iteration age = 0;  ///< Staleness bound for kPartialAsync.
+/// Mode, age, seed, and the propagation policy live in the embedded
+/// harness::RunConfig.  The sampler honours only the policy's read_timeout
+/// (the Global_Read starvation watchdog); interface blocks are never
+/// coalesced — rollback detection needs every superseding publication.
+struct ParallelInferenceConfig : harness::RunConfig {
   int parts = 2;
   /// Iterations every task runs (fixed, so termination needs no global
   /// agreement; completion is extracted post hoc from CI checkpoints).
@@ -53,13 +56,9 @@ struct ParallelInferenceConfig {
   double confidence = 0.90;
   double precision = 0.01;
   int check_interval = 250;
-  std::uint64_t seed = 1;
   sim::Time cost_per_node_sample = 26 * sim::kMicrosecond;
   /// Bookkeeping cost per rolled-back iteration (state restore).
   sim::Time rollback_overhead = 120 * sim::kMicrosecond;
-  /// Global_Read starvation watchdog budget (0 = off); see
-  /// dsm::PropagationPolicy::read_timeout.  Lossy-network drivers set it.
-  sim::Time read_timeout = 0;
   /// Persistent node speed spread and per-iteration jitter, as in the GA.
   double node_speed_spread = 0.15;
   double per_iter_jitter = 0.10;

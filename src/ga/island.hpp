@@ -20,14 +20,15 @@
 #include "dsm/adaptive_age.hpp"
 #include "dsm/shared_space.hpp"
 #include "ga/sequential.hpp"
+#include "harness/run_config.hpp"
 #include "rt/vm.hpp"
 
 namespace nscc::ga {
 
-struct IslandConfig {
+/// The consistency mode, staleness bound, seed, and propagation policy live
+/// in the embedded harness::RunConfig; fields here are GA-specific.
+struct IslandConfig : harness::RunConfig {
   int function_id = 1;
-  dsm::Mode mode = dsm::Mode::kSynchronous;
-  dsm::Iteration age = 0;  ///< Staleness bound for kPartialAsync.
   /// Dynamic age setting (paper Section 6 future work): when true (and mode
   /// is kPartialAsync), each deme adjusts its own age at runtime with an
   /// AdaptiveAgeController seeded from `adaptive`.
@@ -37,11 +38,9 @@ struct IslandConfig {
   int deme_size = 50;      ///< N per deme; total population scales with P.
   int migrants = 25;       ///< N/2 individuals broadcast per generation.
   int generations = 300;   ///< Every deme runs exactly this many.
-  std::uint64_t seed = 1;
   GaParams params;
   GaComputeModel compute;
   bool use_fitness_cache = true;
-  dsm::PropagationPolicy propagation;
 };
 
 struct IslandResult {

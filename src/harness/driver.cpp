@@ -1,0 +1,145 @@
+#include "harness/driver.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "harness/run_config.hpp"
+#include "harness/workload.hpp"
+#include "obs/obs.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace nscc::harness {
+
+int drive(int argc, char** argv, const DriveOptions& options) {
+  Workload* workload = Registry::global().find(options.workload);
+  if (workload == nullptr) {
+    std::cerr << "unknown workload '" << options.workload << "'; registered:";
+    for (const auto& name : Registry::global().names()) {
+      std::cerr << ' ' << name;
+    }
+    std::cerr << '\n';
+    return 2;
+  }
+
+  util::Flags flags;
+  flags
+      .add_enum_list("variants", options.default_variants, variant_names(),
+                     "consistency variants to run")
+      .add_int("age", options.default_age,
+               "staleness bound for the partial (Global_Read) variant")
+      .add_int("seed", 1, "random seed (also seeds the problem instance)")
+      .add_enum("network",
+                options.default_network == rt::Network::kSp2Switch
+                    ? "sp2"
+                    : "ethernet",
+                {"ethernet", "sp2"},
+                "interconnect: shared 10 Mbps Ethernet or SP2 switch");
+  obs::add_flags(flags);
+  fault::add_flags(flags);
+  workload->register_params(flags);
+  for (const auto& [name, value] : options.flag_defaults) {
+    if (!flags.set_default(name, value)) return 2;
+  }
+  if (!flags.parse(argc, argv)) return 1;
+
+  workload->configure(flags);
+  const obs::Options obs_options = obs::options_from_flags(flags);
+  const fault::FaultPlan flag_plan = fault::plan_from_flags(flags);
+  const sim::Time read_timeout = fault::read_timeout_from_flags(flags);
+  const rt::Network network =
+      flags.get_string("network") == "sp2" ? rt::Network::kSp2Switch
+                                           : rt::Network::kEthernet;
+  const auto variants =
+      parse_variants(flags.get_string("variants"), flags.get_int("age"));
+
+  std::vector<Scenario> scenarios =
+      options.scenarios ? options.scenarios(flags)
+                        : std::vector<Scenario>{Scenario{}};
+  const bool scenario_column = !scenarios.empty() && !scenarios[0].label.empty();
+
+  RunConfig base;
+  base.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  base.propagation.read_timeout = read_timeout;
+  workload->print_reference(std::cout, base);
+
+  struct Row {
+    std::string scenario;
+    std::string variant;
+    RunStats stats;
+  };
+  std::vector<Row> rows;
+  bool any_fault = !flag_plan.empty();
+  for (std::size_t si = 0; si < scenarios.size(); ++si) {
+    const Scenario& scenario = scenarios[si];
+    const fault::FaultPlan& plan =
+        scenario.has_fault ? scenario.fault : flag_plan;
+    if (!plan.empty()) any_fault = true;
+    for (const auto& v : variants) {
+      RunConfig run = base;
+      run.mode = v.mode;
+      run.age = v.age;
+      // Staleness tolerance is what licenses update coalescing (paper
+      // Sections 1-2); sync and uncontrolled async send directly.
+      run.propagation.coalesce = v.mode == dsm::Mode::kPartialAsync;
+      run.loader_offered_bps = scenario.loader_offered_bps;
+
+      rt::MachineConfig machine;
+      machine.network = network;
+      machine.fault = plan;
+      machine.transport.enabled = !plan.empty();
+      // Observe only the Global_Read variant of the last scenario so
+      // --trace-out / --metrics-out capture exactly one run (the one the
+      // paper's mechanism is about).
+      if (v.mode == dsm::Mode::kPartialAsync && si + 1 == scenarios.size()) {
+        machine.obs = obs_options;
+      }
+      rows.push_back(
+          {scenario.label, v.label(), workload->run(run, machine)});
+    }
+  }
+
+  util::Table table(options.title.empty() ? workload->description()
+                                          : options.title);
+  std::vector<std::string> cols;
+  if (scenario_column) cols.push_back(options.scenario_column);
+  cols.insert(cols.end(), {"variant", "completion s",
+                           rows.empty() ? std::string("quality")
+                                        : rows[0].stats.quality_name,
+                           "messages", "gr blocks", "block time s",
+                           "bus util"});
+  if (any_fault) {
+    cols.insert(cols.end(), {"frames lost", "retx", "escalations"});
+  }
+  table.columns(cols);
+  for (const auto& row : rows) {
+    table.row();
+    if (scenario_column) table.cell(row.scenario);
+    const RunStats& s = row.stats;
+    // Small figures of merit (residuals, near-optimal fitness) need
+    // scientific notation; everything else reads best fixed.
+    char quality[32];
+    if (s.quality != 0.0 && std::fabs(s.quality) < 1e-3) {
+      std::snprintf(quality, sizeof quality, "%.3e", s.quality);
+    } else {
+      std::snprintf(quality, sizeof quality, "%.4f", s.quality);
+    }
+    table.cell(row.variant + (s.deadlocked ? " (DEADLOCK)" : ""))
+        .cell(sim::to_seconds(s.completion_time), 2)
+        .cell(quality)
+        .cell(s.messages_sent)
+        .cell(s.global_read_blocks)
+        .cell(sim::to_seconds(s.global_read_block_time), 2)
+        .cell(s.bus_utilization, 2);
+    if (any_fault) {
+      table.cell(s.frames_lost).cell(s.retransmissions).cell(
+          s.read_escalations);
+    }
+  }
+  table.print(std::cout);
+  if (!options.epilogue.empty()) std::cout << '\n' << options.epilogue << '\n';
+  return 0;
+}
+
+}  // namespace nscc::harness

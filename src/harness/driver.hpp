@@ -1,0 +1,62 @@
+// The one example/driver layer: harness::drive() owns the flag set
+// (--variants/--age/--seed/--network plus obs, fault, and workload params),
+// the variant loop, the obs/fault/transport wiring, and the result table,
+// so an example binary is nothing but a DriveOptions registration.
+//
+// A driver may also sweep a scenario axis (background load levels, frame
+// loss ladders): each Scenario adds a labelled table column and its own
+// loader rate / fault plan, while everything else stays shared.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "rt/vm.hpp"
+
+namespace nscc::util {
+class Flags;
+}  // namespace nscc::util
+
+namespace nscc::harness {
+
+/// One point on a driver's scenario axis.  The default Scenario runs the
+/// workload once, unloaded, with the fault plan from the --loss-rate flags.
+struct Scenario {
+  std::string label;                 ///< Table cell; empty = no column.
+  double loader_offered_bps = 0.0;   ///< Background-load payload bits/s.
+  bool has_fault = false;            ///< true = `fault` replaces the flag plan.
+  fault::FaultPlan fault;
+};
+
+struct DriveOptions {
+  /// Registered workload name ("ga.island", ...); required.
+  std::string workload;
+  /// Table title; empty = the workload's description.
+  std::string title;
+  /// Explanatory text printed after the table.
+  std::string epilogue;
+  /// Default for --variants (any comma-separated subset of
+  /// sync,async,partial); the flag always accepts overrides.
+  std::string default_variants = "sync,async,partial";
+  /// Default for --age (staleness bound of the partial variant).
+  long default_age = 10;
+  /// Default for --network.
+  rt::Network default_network = rt::Network::kEthernet;
+  /// Per-driver defaults for any registered flag (workload params, --seed,
+  /// --read-timeout-ms, ...), applied before parsing.
+  std::map<std::string, std::string> flag_defaults;
+  /// Header of the scenario column (required when `scenarios` is set).
+  std::string scenario_column = "scenario";
+  /// Scenario axis built from the parsed flags; null = one default Scenario.
+  std::function<std::vector<Scenario>(const util::Flags&)> scenarios;
+};
+
+/// Run a registered workload under the configured variants and scenarios,
+/// print the unified table, and return the process exit code (0 = success,
+/// nonzero on flag errors or an unknown workload).
+int drive(int argc, char** argv, const DriveOptions& options);
+
+}  // namespace nscc::harness

@@ -1,0 +1,61 @@
+#include "harness/run_config.hpp"
+
+#include <stdexcept>
+
+namespace nscc::harness {
+
+std::vector<std::pair<std::string, double>> RunStats::to_fields() const {
+  std::vector<std::pair<std::string, double>> fields = {
+      {"completion_s", sim::to_seconds(completion_time)},
+      {"deadlocked", deadlocked ? 1.0 : 0.0},
+      {"messages_sent", static_cast<double>(messages_sent)},
+      {"bytes_sent", static_cast<double>(bytes_sent)},
+      {"global_read_blocks", static_cast<double>(global_read_blocks)},
+      {"global_read_block_s", sim::to_seconds(global_read_block_time)},
+      {"bus_utilization", bus_utilization},
+      {"mean_staleness", mean_staleness},
+      {"mean_warp", mean_warp},
+      {"frames_lost", static_cast<double>(frames_lost)},
+      {"retransmissions", static_cast<double>(retransmissions)},
+      {"read_escalations", static_cast<double>(read_escalations)},
+      {quality_name, quality},
+  };
+  fields.insert(fields.end(), extra.begin(), extra.end());
+  return fields;
+}
+
+std::string VariantSpec::label() const {
+  if (name == "sync") return "synchronous";
+  if (name == "async") return "asynchronous";
+  if (name == "partial") return "Global_Read(" + std::to_string(age) + ")";
+  return name;
+}
+
+const std::vector<std::string>& variant_names() {
+  static const std::vector<std::string> names = {"sync", "async", "partial"};
+  return names;
+}
+
+VariantSpec make_variant(const std::string& name, dsm::Iteration partial_age) {
+  if (name == "sync") return {name, dsm::Mode::kSynchronous, 0};
+  if (name == "async") return {name, dsm::Mode::kAsynchronous, 0};
+  if (name == "partial") {
+    return {name, dsm::Mode::kPartialAsync, partial_age};
+  }
+  throw std::invalid_argument("unknown variant: " + name);
+}
+
+std::vector<VariantSpec> parse_variants(const std::string& csv,
+                                        dsm::Iteration partial_age) {
+  std::vector<VariantSpec> specs;
+  std::size_t pos = 0;
+  for (;;) {
+    const auto comma = csv.find(',', pos);
+    specs.push_back(make_variant(csv.substr(pos, comma - pos), partial_age));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return specs;
+}
+
+}  // namespace nscc::harness

@@ -1,0 +1,93 @@
+// The unified per-run contract every workload shares (paper Section 5: the
+// core experiment is always "run one workload under synchronous / fully
+// asynchronous / Global_Read(age) and compare").
+//
+// RunConfig carries the fields that used to be duplicated across the four
+// workload configs — consistency mode, staleness bound, seed, propagation
+// policy (coalescing + starvation watchdog), and background load — so a new
+// cross-cutting knob lands here once instead of in every driver.  Workload
+// configs *embed* it (by inheritance, so existing field accesses keep
+// working) and workload results convert to RunStats, the matching unified
+// result surface the shared driver and bench sweeps print and serialise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dsm/shared_space.hpp"
+#include "sim/time.hpp"
+
+namespace nscc::harness {
+
+/// Per-run knobs common to every workload.  Workload configs inherit this;
+/// anything not listed here is workload-specific and registered through
+/// Workload::register_params instead.
+struct RunConfig {
+  dsm::Mode mode = dsm::Mode::kSynchronous;
+  dsm::Iteration age = 0;  ///< Staleness bound for kPartialAsync.
+  std::uint64_t seed = 1;
+  /// Update-propagation policy (coalescing, Global_Read watchdog).  Each
+  /// workload honours the subset it historically honoured: the GA applies
+  /// the whole policy, the solver coalescing + watchdog, the sampler and
+  /// the trainer only the watchdog.
+  dsm::PropagationPolicy propagation;
+  /// Background-load payload bits per second on the interconnect (0 = none).
+  double loader_offered_bps = 0.0;
+};
+
+/// The unified result every workload reports: the completion/mechanism
+/// numbers every driver used to pluck from its own result struct, one
+/// workload-defined quality metric, and a tail of named extras.
+struct RunStats {
+  sim::Time completion_time = 0;
+  bool deadlocked = false;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t global_read_blocks = 0;
+  sim::Time global_read_block_time = 0;
+  double bus_utilization = 0.0;
+  double mean_staleness = 0.0;
+  double mean_warp = 0.0;
+  /// Robustness counters (zero on a perfect network).
+  std::uint64_t frames_lost = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t read_escalations = 0;
+  /// The workload's own figure of merit (best fitness, posterior, residual,
+  /// training loss, ...), labelled so tables and JSON stay self-describing.
+  std::string quality_name = "quality";
+  double quality = 0.0;
+  /// Workload-specific diagnostics appended to JSON output.
+  std::vector<std::pair<std::string, double>> extra;
+
+  /// Flat name -> value view (times in seconds) for JSON serialisation.
+  [[nodiscard]] std::vector<std::pair<std::string, double>> to_fields() const;
+};
+
+/// One (name, mode, age) point of the paper's three-way comparison.  The
+/// canonical names — "sync", "async", "partial" — are what --variants
+/// accepts.
+struct VariantSpec {
+  std::string name;
+  dsm::Mode mode = dsm::Mode::kSynchronous;
+  dsm::Iteration age = 0;
+
+  /// Human label for tables ("synchronous" / "asynchronous" /
+  /// "Global_Read(age)").
+  [[nodiscard]] std::string label() const;
+};
+
+/// The canonical variant names, in paper order.
+[[nodiscard]] const std::vector<std::string>& variant_names();
+
+/// Build a VariantSpec from a canonical name; `partial_age` is the bound
+/// used when name == "partial".  Throws std::invalid_argument otherwise.
+[[nodiscard]] VariantSpec make_variant(const std::string& name,
+                                       dsm::Iteration partial_age);
+
+/// Parse a validated --variants value ("sync,partial") into specs.
+[[nodiscard]] std::vector<VariantSpec> parse_variants(
+    const std::string& csv, dsm::Iteration partial_age);
+
+}  // namespace nscc::harness

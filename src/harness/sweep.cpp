@@ -1,0 +1,116 @@
+#include "harness/sweep.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "util/flags.hpp"
+
+namespace nscc::harness {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double v) {
+  // JSON has no NaN/Inf; a diverged metric serialises as null.
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_object(std::string& out,
+                   const std::vector<std::pair<std::string, double>>& fields) {
+  out += '{';
+  bool first = true;
+  for (const auto& [name, value] : fields) {
+    if (!first) out += ", ";
+    first = false;
+    append_escaped(out, name);
+    out += ": ";
+    append_number(out, value);
+  }
+  out += '}';
+}
+
+}  // namespace
+
+void Sweep::add_flags(util::Flags& flags) {
+  flags.add_string("json-out", "",
+                   "write machine-readable results JSON here (see "
+                   "bench/schema.md); empty disables");
+}
+
+void Sweep::configure(const util::Flags& flags) {
+  path_ = flags.get_string("json-out");
+}
+
+std::string Sweep::to_json() const {
+  std::string out = "{\n  \"schema\": \"nscc-bench-v1\",\n  \"bench\": ";
+  append_escaped(out, bench_);
+  out += ",\n  \"results\": [";
+  bool first = true;
+  for (const auto& r : records_) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    {\"workload\": ";
+    append_escaped(out, r.workload);
+    out += ", \"variant\": ";
+    append_escaped(out, r.variant);
+    char buf[96];
+    std::snprintf(buf, sizeof buf, ", \"age\": %ld, \"seed\": %llu, \"repeat\": %d",
+                  r.age, static_cast<unsigned long long>(r.seed), r.repeat);
+    out += buf;
+    out += ", \"params\": ";
+    append_object(out, r.params);
+    out += ", \"stats\": ";
+    append_object(out, r.stats);
+    out += '}';
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+bool Sweep::write() const {
+  if (path_.empty()) return true;
+  std::ofstream file(path_);
+  if (!file) {
+    std::cerr << "cannot open " << path_ << " for writing\n";
+    return false;
+  }
+  file << to_json();
+  file.flush();
+  if (!file) {
+    std::cerr << "write to " << path_ << " failed\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace nscc::harness

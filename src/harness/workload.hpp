@@ -1,0 +1,82 @@
+// The workload seam: one interface every application implements so drivers,
+// bench sweeps, and tests can run "some workload under some consistency
+// variant on some machine" without knowing which application it is.
+//
+// A Workload owns its problem-specific parameters (registered as flags,
+// configured from a parsed flag set or set directly by tests) and maps the
+// unified RunConfig onto its legacy config type; its run() returns the
+// unified RunStats.  The Registry maps names ("ga.island", ...) to workload
+// instances; the four paper workloads are registered by
+// register_builtin_workloads(), which Registry::global() applies lazily so
+// static-library link order cannot drop them.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/run_config.hpp"
+
+namespace nscc::util {
+class Flags;
+}  // namespace nscc::util
+namespace nscc::rt {
+struct MachineConfig;
+}  // namespace nscc::rt
+
+namespace nscc::harness {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Stable registry name, e.g. "ga.island".
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// One-line description for tables and --help.
+  [[nodiscard]] virtual std::string description() const = 0;
+
+  /// Register the workload's problem-size flags (--demes, --grid, ...).
+  virtual void register_params(util::Flags& flags) const = 0;
+  /// Read the registered flags back into the workload's parameters.
+  virtual void configure(const util::Flags& flags) = 0;
+
+  /// Run once on a fresh simulated machine.  `run.seed` also seeds the
+  /// workload's problem instance so a (config, machine) pair is a pure
+  /// function of its fields.
+  virtual RunStats run(const RunConfig& run,
+                       const rt::MachineConfig& machine) = 0;
+
+  /// Optional sequential-reference preamble (serial baseline line) printed
+  /// once by the shared driver before the variant loop.  Default: nothing.
+  virtual void print_reference(std::ostream& os, const RunConfig& base);
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Register a workload.  Returns false (and drops the workload) when a
+  /// workload with the same name is already registered.
+  bool add(std::unique_ptr<Workload> workload);
+
+  /// nullptr when no workload has that name.
+  [[nodiscard]] Workload* find(const std::string& name) const noexcept;
+
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::size_t size() const noexcept { return workloads_.size(); }
+
+  /// The process-wide registry, with the built-in workloads registered.
+  static Registry& global();
+
+ private:
+  std::vector<std::unique_ptr<Workload>> workloads_;
+};
+
+/// Register the four paper workloads (ga.island, bayes.sampling,
+/// solver.jacobi, nn.train) into `registry`.
+void register_builtin_workloads(Registry& registry);
+
+}  // namespace nscc::harness

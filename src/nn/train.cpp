@@ -89,7 +89,7 @@ TrainResult train_parallel(const Dataset& data, const TrainConfig& config,
   // ---- parameter server -------------------------------------------------------
   vm.add_task("server", [&](rt::Task& task) {
     Mlp net(config.layers, config.seed);
-    dsm::SharedSpace space(task, {.read_timeout = config.read_timeout});
+    dsm::SharedSpace space(task, {.read_timeout = config.propagation.read_timeout});
     std::vector<int> readers;
     for (int w = 1; w <= P; ++w) readers.push_back(w);
     space.declare_written(kParamsLoc, readers);
@@ -181,7 +181,7 @@ TrainResult train_parallel(const Dataset& data, const TrainConfig& config,
   for (int w = 1; w <= P; ++w) {
     vm.add_task("worker" + std::to_string(w), [&, w](rt::Task& task) {
       Mlp net(config.layers, config.seed);
-      dsm::SharedSpace space(task, {.read_timeout = config.read_timeout});
+      dsm::SharedSpace space(task, {.read_timeout = config.propagation.read_timeout});
       space.declare_read(kParamsLoc, 0);
       util::Xoshiro256 jitter_rng = task.rng().split(0xba5e);
       const double my_speed = speed[static_cast<std::size_t>(w)];

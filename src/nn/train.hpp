@@ -25,14 +25,17 @@
 #include <vector>
 
 #include "dsm/shared_space.hpp"
+#include "harness/run_config.hpp"
 #include "nn/mlp.hpp"
 #include "rt/vm.hpp"
 
 namespace nscc::nn {
 
-struct TrainConfig {
-  dsm::Mode mode = dsm::Mode::kSynchronous;
-  dsm::Iteration age = 0;
+/// Mode, age, seed, and the propagation policy live in the embedded
+/// harness::RunConfig.  The trainer honours only the policy's read_timeout
+/// (the Global_Read starvation watchdog); parameter/gradient publications
+/// are never coalesced — the server needs every worker gradient.
+struct TrainConfig : harness::RunConfig {
   int workers = 4;
   int steps = 300;          ///< Mini-batch steps per worker.
   int batch_size = 16;
@@ -41,14 +44,10 @@ struct TrainConfig {
   /// Loss is evaluated on the training set every this many server
   /// applications (charged to the server).
   int eval_every = 32;
-  std::uint64_t seed = 1;
   /// Virtual cost per multiply-accumulate (77 MHz-class node).
   sim::Time cost_per_mac = 40;  // ns
   double node_speed_spread = 0.15;
   double per_step_jitter = 0.10;
-  /// Global_Read starvation watchdog budget (0 = off); see
-  /// dsm::PropagationPolicy::read_timeout.  Lossy-network drivers set it.
-  sim::Time read_timeout = 0;
 };
 
 struct TrainResult {

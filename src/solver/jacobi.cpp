@@ -128,8 +128,8 @@ ParallelJacobiResult run_parallel_jacobi(const LinearSystem& sys,
       const int lo = starts[static_cast<std::size_t>(me)];
       const int hi = starts[static_cast<std::size_t>(me) + 1];
 
-      dsm::SharedSpace space(task, {.coalesce = config.coalesce,
-                                    .read_timeout = config.read_timeout});
+      dsm::SharedSpace space(task, {.coalesce = config.propagation.coalesce,
+                                    .read_timeout = config.propagation.read_timeout});
       space.declare_written(block_loc(me), readers[static_cast<std::size_t>(me)]);
       for (int src : imports[static_cast<std::size_t>(me)]) {
         space.declare_read(block_loc(src), src);

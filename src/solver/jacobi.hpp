@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "dsm/shared_space.hpp"
+#include "harness/run_config.hpp"
 #include "rt/vm.hpp"
 #include "solver/linear_system.hpp"
 
@@ -50,19 +51,16 @@ struct JacobiResult {
 JacobiResult run_sequential_jacobi(const LinearSystem& sys,
                                    const JacobiConfig& config);
 
-struct ParallelJacobiConfig : JacobiConfig {
-  dsm::Mode mode = dsm::Mode::kSynchronous;
-  dsm::Iteration age = 0;
+/// Mode, age, seed, and the propagation policy live in the embedded
+/// harness::RunConfig (the solver honours the policy's coalesce and
+/// read_timeout fields); JacobiConfig::seed is shadowed by the RunConfig one
+/// so there is a single seed.
+struct ParallelJacobiConfig : JacobiConfig, harness::RunConfig {
+  using harness::RunConfig::seed;
   int processors = 4;
-  /// Coalesce boundary updates (only meaningful for the staleness-tolerant
-  /// modes; the experiment drivers enable it for kPartialAsync).
-  bool coalesce = false;
   /// OS-load model, as in the other applications.
   double node_speed_spread = 0.15;
   double per_sweep_jitter = 0.10;
-  /// Global_Read starvation watchdog budget (0 = off); see
-  /// dsm::PropagationPolicy::read_timeout.  Lossy-network drivers set it.
-  sim::Time read_timeout = 0;
 };
 
 struct ParallelJacobiResult : JacobiResult {

@@ -1,5 +1,7 @@
 #include "util/flags.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -7,9 +9,36 @@
 
 namespace nscc::util {
 
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  for (;;) {
+    const auto comma = csv.find(',', pos);
+    out.push_back(csv.substr(pos, comma - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+namespace {
+
+std::string join(const std::vector<std::string>& parts, const char* sep) {
+  std::string out;
+  for (const auto& p : parts) {
+    if (!out.empty()) out += sep;
+    out += p;
+  }
+  return out;
+}
+
+}  // namespace
+
 Flags& Flags::add(const std::string& name, Kind kind, std::string def,
-                  const std::string& help) {
-  auto [it, inserted] = entries_.emplace(name, Entry{kind, std::move(def), help});
+                  const std::string& help, std::vector<std::string> allowed,
+                  bool is_list) {
+  auto [it, inserted] = entries_.emplace(
+      name, Entry{kind, std::move(def), help, std::move(allowed), is_list});
   if (inserted) order_.push_back(name);
   return *this;
 }
@@ -38,33 +67,83 @@ Flags& Flags::add_string(const std::string& name, const std::string& def,
   return add(name, Kind::kString, def, help);
 }
 
-bool Flags::set(const std::string& name, const std::string& value) {
+Flags& Flags::add_enum(const std::string& name, const std::string& def,
+                       std::vector<std::string> allowed,
+                       const std::string& help) {
+  return add(name, Kind::kString, def, help, std::move(allowed), false);
+}
+
+Flags& Flags::add_enum_list(const std::string& name, const std::string& def,
+                            std::vector<std::string> allowed,
+                            const std::string& help) {
+  return add(name, Kind::kString, def, help, std::move(allowed), true);
+}
+
+std::string Flags::set(const std::string& name, const std::string& value) {
   auto it = entries_.find(name);
-  if (it == entries_.end()) return false;
-  switch (it->second.kind) {
+  if (it == entries_.end()) return "unknown flag --" + name;
+  const Entry& e = it->second;
+  switch (e.kind) {
     case Kind::kInt:
       try {
-        (void)std::stoll(value);
+        std::size_t used = 0;
+        (void)std::stoll(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
       } catch (const std::exception&) {
-        return false;
+        return "--" + name + " expects an integer, got '" + value + "'";
       }
       break;
     case Kind::kDouble:
       try {
-        (void)std::stod(value);
+        std::size_t used = 0;
+        (void)std::stod(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
       } catch (const std::exception&) {
-        return false;
+        return "--" + name + " expects a number, got '" + value + "'";
       }
       break;
     case Kind::kBool:
       if (value != "true" && value != "false" && value != "1" && value != "0") {
-        return false;
+        return "--" + name + " expects true/false, got '" + value + "'";
       }
       break;
     case Kind::kString:
+      if (!e.allowed.empty()) {
+        const auto ok = [&](const std::string& v) {
+          return std::find(e.allowed.begin(), e.allowed.end(), v) !=
+                 e.allowed.end();
+        };
+        if (e.is_list) {
+          const auto parts = split_csv(value);
+          std::vector<std::string> seen;
+          for (const auto& part : parts) {
+            if (part.empty() || !ok(part)) {
+              return "--" + name + ": '" + part + "' is not one of " +
+                     join(e.allowed, "|");
+            }
+            if (std::find(seen.begin(), seen.end(), part) != seen.end()) {
+              return "--" + name + ": '" + part + "' given twice";
+            }
+            seen.push_back(part);
+          }
+          if (parts.empty()) return "--" + name + " needs at least one value";
+        } else if (!ok(value)) {
+          return "--" + name + " must be one of " + join(e.allowed, "|") +
+                 ", got '" + value + "'";
+        }
+      }
       break;
   }
   it->second.value = value;
+  return {};
+}
+
+bool Flags::set_default(const std::string& name, const std::string& value) {
+  const std::string err = set(name, value);
+  if (!err.empty()) {
+    std::cerr << "bad flag default: " << err << '\n';
+    return false;
+  }
   return true;
 }
 
@@ -75,7 +154,10 @@ void Flags::apply_env_overrides() {
       env += (c == '-') ? '_' : static_cast<char>(std::toupper(c));
     }
     if (const char* v = std::getenv(env.c_str())) {
-      set(name, v);
+      const std::string err = set(name, v);
+      // An ill-formed env override is a configuration bug; flag it loudly
+      // instead of silently keeping the default.
+      if (!err.empty()) std::cerr << "ignoring " << env << ": " << err << '\n';
     }
   }
 }
@@ -103,7 +185,12 @@ bool Flags::parse(int argc, char** argv) {
     } else {
       name = arg;
       auto it = entries_.find(name);
-      if (it != entries_.end() && it->second.kind == Kind::kBool) {
+      if (it == entries_.end()) {
+        std::cerr << "unknown flag --" << name << '\n';
+        print_usage(argv[0]);
+        return false;
+      }
+      if (it->second.kind == Kind::kBool) {
         value = "true";
       } else if (i + 1 < argc) {
         value = argv[++i];
@@ -112,9 +199,9 @@ bool Flags::parse(int argc, char** argv) {
         return false;
       }
     }
-    if (!set(name, value)) {
-      std::cerr << "unknown or ill-formed flag: --" << name << "=" << value
-                << '\n';
+    const std::string err = set(name, value);
+    if (!err.empty()) {
+      std::cerr << err << '\n';
       print_usage(argv[0]);
       return false;
     }
@@ -139,12 +226,20 @@ const std::string& Flags::get_string(const std::string& name) const {
   return entries_.at(name).value;
 }
 
+std::vector<std::string> Flags::get_list(const std::string& name) const {
+  return split_csv(entries_.at(name).value);
+}
+
 void Flags::print_usage(const std::string& program) const {
   std::cerr << "usage: " << program << " [flags]\n";
   for (const auto& name : order_) {
     const Entry& e = entries_.at(name);
-    std::cerr << "  --" << name << " (default: " << e.value << ")  " << e.help
-              << '\n';
+    std::cerr << "  --" << name << " (default: " << e.value;
+    if (!e.allowed.empty()) {
+      std::cerr << "; " << (e.is_list ? "subset of " : "one of ")
+                << join(e.allowed, "|");
+    }
+    std::cerr << ")  " << e.help << '\n';
   }
 }
 

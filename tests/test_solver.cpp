@@ -101,7 +101,7 @@ TEST_P(JacobiEveryMode, ParallelConvergesUnderAnyConsistency) {
   cfg.processors = 4;
   cfg.tolerance = 1e-7;
   cfg.check_interval = 25;
-  cfg.coalesce = GetParam() == Mode::kPartialAsync;
+  cfg.propagation.coalesce = GetParam() == Mode::kPartialAsync;
   cfg.node_speed_spread = 0.3;
   const auto r = nscc::solver::run_parallel_jacobi(sys, cfg, {});
   EXPECT_FALSE(r.deadlocked);
@@ -126,7 +126,7 @@ TEST(ParallelJacobi, AsynchronyCostsIterationsButSavesTime) {
   const auto sync = nscc::solver::run_parallel_jacobi(sys, cfg, {});
   cfg.mode = Mode::kPartialAsync;
   cfg.age = 10;
-  cfg.coalesce = true;
+  cfg.propagation.coalesce = true;
   const auto partial = nscc::solver::run_parallel_jacobi(sys, cfg, {});
 
   ASSERT_TRUE(sync.converged);
@@ -177,7 +177,7 @@ TEST(ParallelJacobi, BackgroundLoadHurtsSyncMoreThanPartial) {
   const auto sync6 = nscc::solver::run_parallel_jacobi(sys, cfg, {}, 6e6);
   cfg.mode = Mode::kPartialAsync;
   cfg.age = 10;
-  cfg.coalesce = true;
+  cfg.propagation.coalesce = true;
   const auto part0 = nscc::solver::run_parallel_jacobi(sys, cfg, {}, 0.0);
   const auto part6 = nscc::solver::run_parallel_jacobi(sys, cfg, {}, 6e6);
 

@@ -315,4 +315,77 @@ TEST(Flags, CommandLineBeatsEnv) {
   ::unsetenv("NSCC_REPS");
 }
 
+TEST(Flags, RejectsIllFormedNumbers) {
+  Flags f;
+  f.add_int("n", 1, "n").add_double("r", 0.5, "r");
+  const char* bad_int[] = {"prog", "--n=12abc"};
+  EXPECT_FALSE(f.parse(2, const_cast<char**>(bad_int)));
+  Flags g;
+  g.add_double("r", 0.5, "r");
+  const char* bad_double[] = {"prog", "--r=fast"};
+  EXPECT_FALSE(g.parse(2, const_cast<char**>(bad_double)));
+}
+
+TEST(Flags, EnumAcceptsAllowedValueOnly) {
+  Flags f;
+  f.add_enum("network", "ethernet", {"ethernet", "sp2"}, "net");
+  const char* ok[] = {"prog", "--network=sp2"};
+  ASSERT_TRUE(f.parse(2, const_cast<char**>(ok)));
+  EXPECT_EQ(f.get_string("network"), "sp2");
+
+  Flags g;
+  g.add_enum("network", "ethernet", {"ethernet", "sp2"}, "net");
+  const char* bad[] = {"prog", "--network=token-ring"};
+  EXPECT_FALSE(g.parse(2, const_cast<char**>(bad)));
+}
+
+TEST(Flags, EnumListAcceptsSubsetRejectsJunk) {
+  const std::vector<std::string> allowed = {"sync", "async", "partial"};
+  Flags f;
+  f.add_enum_list("variants", "sync,async,partial", allowed, "variants");
+  const char* ok[] = {"prog", "--variants=partial,sync"};
+  ASSERT_TRUE(f.parse(2, const_cast<char**>(ok)));
+  EXPECT_EQ(f.get_list("variants"),
+            (std::vector<std::string>{"partial", "sync"}));
+
+  for (const char* value :
+       {"--variants=", "--variants=sync,nope", "--variants=sync,sync"}) {
+    Flags g;
+    g.add_enum_list("variants", "sync", allowed, "variants");
+    const char* bad[] = {"prog", value};
+    EXPECT_FALSE(g.parse(2, const_cast<char**>(bad))) << value;
+  }
+}
+
+TEST(Flags, SetDefaultValidatesAndStaysOverridable) {
+  Flags f;
+  f.add_int("demes", 8, "demes").add_enum("network", "ethernet",
+                                          {"ethernet", "sp2"}, "net");
+  EXPECT_TRUE(f.set_default("demes", "4"));
+  EXPECT_TRUE(f.set_default("network", "sp2"));
+  EXPECT_FALSE(f.set_default("nope", "1"));        // unknown flag
+  EXPECT_FALSE(f.set_default("network", "ring"));  // outside the enum
+  const char* argv[] = {"prog", "--demes=2"};
+  ASSERT_TRUE(f.parse(2, const_cast<char**>(argv)));
+  EXPECT_EQ(f.get_int("demes"), 2);  // command line beats the new default
+  EXPECT_EQ(f.get_string("network"), "sp2");
+}
+
+TEST(Flags, InvalidEnvOverrideIsIgnoredNotFatal) {
+  ::setenv("NSCC_NETWORK", "token-ring", 1);
+  Flags f;
+  f.add_enum("network", "ethernet", {"ethernet", "sp2"}, "net");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(f.parse(1, const_cast<char**>(argv)));
+  EXPECT_EQ(f.get_string("network"), "ethernet");
+  ::unsetenv("NSCC_NETWORK");
+}
+
+TEST(SplitCsv, SplitsAndPreservesEmptyTokens) {
+  using nscc::util::split_csv;
+  EXPECT_EQ(split_csv("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_csv(""), (std::vector<std::string>{""}));
+  EXPECT_EQ(split_csv("a,,b"), (std::vector<std::string>{"a", "", "b"}));
+}
+
 }  // namespace
