@@ -14,13 +14,23 @@
 // (every lost reliable frame is a retransmission round-trip on the
 // critical path), while the age>=10 columns stay within a few percent of
 // their fault-free time — loss is absorbed by the staleness budget.
+//
+// A second sweep makes the crash-recovery argument: at 1% loss, one node
+// is torn down mid-run (stateful crash semantics) under each recovery
+// policy.  `none` deadlocks, `degraded` completes on stale reads, and
+// `rejoin` restores the last checkpoint and catches up — the table and
+// JSON report the recovery work (checkpoints, restores, rejoins,
+// degraded reads, iterations rolled back).
+#include <algorithm>
 #include <iostream>
+#include <utility>
 #include <vector>
 
 #include "fault/fault.hpp"
 #include "ga/island.hpp"
 #include "harness/sweep.hpp"
 #include "obs/obs.hpp"
+#include "recovery/recovery.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
@@ -32,11 +42,15 @@ struct Cell {
   std::uint64_t retransmissions = 0;
   std::uint64_t escalations = 0;
   bool deadlocked = false;
+  nscc::recovery::Stats recovery;
+  std::uint64_t degraded_reads = 0;
 };
 
 Cell run(double loss, long age, int demes, int generations,
          std::uint64_t seed, std::uint64_t fault_seed,
-         nscc::sim::Time read_timeout) {
+         nscc::sim::Time read_timeout,
+         nscc::recovery::Policy policy = nscc::recovery::Policy::kNone,
+         const nscc::fault::Window* crash = nullptr) {
   nscc::ga::IslandConfig cfg;
   cfg.function_id = 1;
   cfg.mode = age == 0 ? nscc::dsm::Mode::kSynchronous
@@ -47,13 +61,19 @@ Cell run(double loss, long age, int demes, int generations,
   cfg.seed = seed;
   cfg.propagation.coalesce = age > 0;
   if (age > 0) cfg.propagation.read_timeout = read_timeout;
+  cfg.recovery.policy = policy;
+  cfg.recovery.checkpoint_interval = 100 * nscc::sim::kMillisecond;
 
   nscc::fault::FaultPlan plan;
   plan.seed = fault_seed;
   plan.link.loss_prob = loss;
+  if (crash != nullptr) {
+    plan.nodes[1].crashes.push_back(*crash);
+    plan.crash_semantics = nscc::fault::CrashSemantics::kStateful;
+  }
   nscc::rt::MachineConfig machine;
   machine.fault = plan;
-  machine.transport.enabled = !plan.empty();
+  machine.transport.enabled = !plan.empty() || cfg.recovery.enabled();
 
   const auto r = nscc::ga::run_island_ga(cfg, machine);
   Cell cell;
@@ -62,6 +82,8 @@ Cell run(double loss, long age, int demes, int generations,
   cell.retransmissions = r.retransmissions;
   cell.escalations = r.read_escalations;
   cell.deadlocked = r.deadlocked;
+  cell.recovery = r.recovery;
+  cell.degraded_reads = r.degraded_reads;
   return cell;
 }
 
@@ -139,5 +161,77 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
   if (flags.get_bool("csv")) std::cout << '\n' << table.to_csv();
+
+  // Crash-recovery sweep: one node torn down mid-run at 1% loss, per
+  // policy.  The crash lands at 40% of the crash-free age-10 completion so
+  // it scales with --demes/--generations.
+  const double kCrashLoss = 0.01;
+  const double crash_at_s = 0.4 * base[1].completion_s;
+  nscc::fault::Window crash;
+  crash.start = static_cast<nscc::sim::Time>(
+      crash_at_s * static_cast<double>(nscc::sim::kSecond));
+  crash.end = crash.start + static_cast<nscc::sim::Time>(
+                                0.08 * static_cast<double>(nscc::sim::kSecond));
+
+  nscc::util::Table rtable(
+      "Extension E2 - crash-restart recovery (1% loss, node 1 down)");
+  rtable.columns({"policy", "variant", "completion s", "vs crash-free",
+                  "crashes", "ckpts", "restores", "rejoins", "degraded",
+                  "lost iters"});
+  const std::vector<std::pair<std::string, nscc::recovery::Policy>> policies =
+      {{"none", nscc::recovery::Policy::kNone},
+       {"degraded", nscc::recovery::Policy::kDegraded},
+       {"rejoin", nscc::recovery::Policy::kRejoin}};
+  for (const auto& [pname, policy] : policies) {
+    for (std::size_t i = 1; i < ages.size(); ++i) {
+      const long age = ages[i];
+      const Cell cell = run(kCrashLoss, age, demes, generations, seed,
+                            fault_seed, read_timeout, policy, &crash);
+      const std::string label = "age" + std::to_string(age);
+      rtable.row()
+          .cell(pname)
+          .cell(label + (cell.deadlocked ? " (DEADLOCK)" : ""))
+          .cell(cell.completion_s, 2)
+          .cell(cell.completion_s / base[i].completion_s, 3)
+          .cell(cell.recovery.crashes)
+          .cell(cell.recovery.checkpoints_taken)
+          .cell(cell.recovery.restores)
+          .cell(cell.recovery.rejoins)
+          .cell(cell.degraded_reads)
+          .cell(static_cast<std::uint64_t>(
+              std::max<std::int64_t>(0, cell.recovery.lost_iterations)));
+      nscc::harness::SweepRecord rec;
+      rec.workload = "ga.island";
+      rec.variant = "partial";
+      rec.age = age;
+      rec.seed = seed;
+      rec.repeat = 0;
+      rec.params = {{"loss", kCrashLoss},
+                    {"demes", static_cast<double>(demes)},
+                    {"generations", static_cast<double>(generations)},
+                    {"crash_at_s", crash_at_s},
+                    {"policy", static_cast<double>(policy)}};
+      rec.stats = {
+          {"completion_s", cell.completion_s},
+          {"vs_crash_free", cell.completion_s / base[i].completion_s},
+          {"deadlocked", cell.deadlocked ? 1.0 : 0.0},
+          {"crashes", static_cast<double>(cell.recovery.crashes)},
+          {"checkpoints_taken",
+           static_cast<double>(cell.recovery.checkpoints_taken)},
+          {"restores", static_cast<double>(cell.recovery.restores)},
+          {"rejoins", static_cast<double>(cell.recovery.rejoins)},
+          {"degraded_reads", static_cast<double>(cell.degraded_reads)},
+          {"detection_latency_s",
+           nscc::sim::to_seconds(cell.recovery.detection_latency)},
+          {"recovery_latency_s",
+           nscc::sim::to_seconds(cell.recovery.recovery_latency)},
+          {"lost_iterations",
+           static_cast<double>(cell.recovery.lost_iterations)}};
+      sweep.add(std::move(rec));
+    }
+  }
+  std::cout << '\n';
+  rtable.print(std::cout);
+  if (flags.get_bool("csv")) std::cout << '\n' << rtable.to_csv();
   return sweep.write() ? 0 : 1;
 }

@@ -8,6 +8,7 @@
 
 #include "net/load_generator.hpp"
 #include "obs/obs.hpp"
+#include "recovery/recovery.hpp"
 #include "util/rng.hpp"
 
 namespace nscc::bayes {
@@ -108,6 +109,12 @@ ParallelInferenceResult run_parallel_logic_sampling(
 
   rt::VirtualMachine vm(machine);
 
+  std::unique_ptr<recovery::Coordinator> coord;
+  if (config.recovery.enabled()) {
+    coord = std::make_unique<recovery::Coordinator>(vm, config.recovery);
+  }
+  recovery::Coordinator* rc = coord.get();
+
   util::Xoshiro256 skew_rng(config.seed ^ 0x5ca1eULL);
   std::vector<double> speed(static_cast<std::size_t>(P));
   for (double& s : speed) {
@@ -165,8 +172,13 @@ ParallelInferenceResult run_parallel_logic_sampling(
         return -1;
       };
 
-      dsm::SharedSpace space(task,
-                             {.read_timeout = config.propagation.read_timeout});
+      dsm::PropagationPolicy prop{
+          .read_timeout = config.propagation.read_timeout};
+      if (rc != nullptr) {
+        prop.writer_alive = [rcp = rc](int node) { return rcp->alive(node); };
+        if (prop.read_timeout <= 0) prop.read_timeout = 50 * sim::kMillisecond;
+      }
+      dsm::SharedSpace space(task, prop);
       for (int k = 0; k <= max_phase; ++k) {
         if (live(me, k)) space.declare_written(block_loc(me, k), all_others);
       }
@@ -508,8 +520,106 @@ ParallelInferenceResult run_parallel_logic_sampling(
         return used_samples;
       };
 
+      // ---- crash-restart -----------------------------------------------------
+      // Full-state checkpoint: the sample history and every consistency
+      // structure the anti-message machinery runs on.  Restarting from it
+      // is protocol-native — corrections for anything the dead incarnation
+      // published but lost locally flow through the ordinary rollback path.
+      auto pack_i8s = [](rt::Packet& pk, const std::vector<std::int8_t>& v) {
+        for (std::int8_t b : v) pk.pack_u8(static_cast<std::uint8_t>(b));
+      };
+      auto unpack_i8s = [](rt::Packet& pk, std::vector<std::int8_t>& v) {
+        for (auto& b : v) b = static_cast<std::int8_t>(pk.unpack_u8());
+      };
+      auto each_remote_iface = [&](auto&& fn) {
+        for (int p : all_others) {
+          for (int k = 0; k <= max_phase; ++k) {
+            for (NodeId v : exports[static_cast<std::size_t>(p)]
+                                   [static_cast<std::size_t>(k)]) {
+              fn(v);
+            }
+          }
+        }
+      };
+      recovery::FnCheckpoint app(
+          [&] {
+            rt::Packet pk;
+            pk.pack_i64(last_computed);
+            for (NodeId v : my_nodes) {
+              pack_i8s(pk, samples[static_cast<std::size_t>(v)]);
+            }
+            pack_i8s(pk, evidence_ok_local);
+            each_remote_iface([&](NodeId v) {
+              const auto vi = static_cast<std::size_t>(v);
+              pack_i8s(pk, received[vi]);
+              pack_i8s(pk, used[vi]);
+              pk.pack_u8(static_cast<std::uint8_t>(latest_value[vi]));
+              pk.pack_i64(latest_iter[vi]);
+            });
+            for (int p : all_others) {
+              const auto pi = static_cast<std::size_t>(p);
+              pack_i8s(pk, evidence_ok_remote[pi]);
+              for (bool b : have_marker[pi]) pk.pack_u8(b ? 1 : 0);
+              pk.pack_i64(contig[pi]);
+            }
+            for (int k = 0; k <= max_phase; ++k) {
+              const auto ki = static_cast<std::size_t>(k);
+              for (std::int64_t t = 0; t < iterations; ++t) {
+                const auto& blob = published[ki][static_cast<std::size_t>(t)];
+                pk.pack_u32(static_cast<std::uint32_t>(blob.size()));
+                pack_i8s(pk, blob);
+              }
+              pk.pack_i64(pending_from[ki]);
+            }
+            return pk;
+          },
+          [&](rt::Packet& pk) {
+            last_computed = pk.unpack_i64();
+            for (NodeId v : my_nodes) {
+              unpack_i8s(pk, samples[static_cast<std::size_t>(v)]);
+            }
+            unpack_i8s(pk, evidence_ok_local);
+            each_remote_iface([&](NodeId v) {
+              const auto vi = static_cast<std::size_t>(v);
+              unpack_i8s(pk, received[vi]);
+              unpack_i8s(pk, used[vi]);
+              latest_value[vi] = static_cast<std::int8_t>(pk.unpack_u8());
+              latest_iter[vi] = pk.unpack_i64();
+            });
+            for (int p : all_others) {
+              const auto pi = static_cast<std::size_t>(p);
+              unpack_i8s(pk, evidence_ok_remote[pi]);
+              for (std::int64_t t = 0; t < iterations; ++t) {
+                have_marker[pi][static_cast<std::size_t>(t)] =
+                    pk.unpack_u8() != 0;
+              }
+              contig[pi] = pk.unpack_i64();
+            }
+            for (int k = 0; k <= max_phase; ++k) {
+              const auto ki = static_cast<std::size_t>(k);
+              for (std::int64_t t = 0; t < iterations; ++t) {
+                auto& blob = published[ki][static_cast<std::size_t>(t)];
+                blob.assign(pk.unpack_u32(), 0);
+                unpack_i8s(pk, blob);
+              }
+              pending_from[ki] = pk.unpack_i64();
+            }
+          });
+      const std::int64_t restored = rc != nullptr ? rc->restore(task, app) : -1;
+      if (restored < 0) {
+        if (rc != nullptr) rc->maybe_checkpoint(task, 0, app);
+      } else {
+        // Re-write the newest flushed iteration per phase so the fresh
+        // SharedSpace holds a local copy that can serve peer demands.
+        for (int k = 0; k <= max_phase; ++k) {
+          if (!live(me, k)) continue;
+          const std::int64_t pf = pending_from[static_cast<std::size_t>(k)];
+          if (pf > 0) flush_range(k, pf - 1, pf - 1);
+        }
+      }
+
       // ---- main loop -----------------------------------------------------------
-      for (std::int64_t t = 0; t < iterations; ++t) {
+      for (std::int64_t t = restored + 1; t < iterations; ++t) {
         if (config.mode == dsm::Mode::kSynchronous && t > 0) task.barrier();
 
         for (int k = 0; k <= max_phase; ++k) {
@@ -558,6 +668,7 @@ ParallelInferenceResult run_parallel_logic_sampling(
         if ((t + 1) % config.check_interval == 0 && out.first_met_time < 0) {
           (void)checkpoint();
         }
+        if (rc != nullptr) rc->maybe_checkpoint(task, t, app);
       }
 
       // Flush any unsent batch tails before settling.
@@ -653,6 +764,8 @@ ParallelInferenceResult run_parallel_logic_sampling(
     result.validated_samples = std::min(result.validated_samples, out.validated);
     result.global_read_blocks += out.dsm.global_read_blocks;
     result.global_read_block_time += out.dsm.global_read_block_time;
+    result.read_escalations += out.dsm.read_escalations;
+    result.degraded_reads += out.dsm.degraded_reads;
     result.messages_sent += vm.task(p).stats().messages_sent;
     result.bytes_sent += vm.task(p).stats().bytes_sent;
     for (const QueryEstimate& est : out.estimates) {
@@ -671,6 +784,7 @@ ParallelInferenceResult run_parallel_logic_sampling(
   }
   result.estimates = std::move(ordered);
   result.completion_time = result.converged ? completion : full_time;
+  if (coord != nullptr) result.recovery = coord->stats();
   return result;
 }
 

@@ -35,6 +35,7 @@
 #include "bayes/partitioner.hpp"
 #include "dsm/shared_space.hpp"
 #include "harness/run_config.hpp"
+#include "recovery/recovery.hpp"
 #include "rt/vm.hpp"
 
 namespace nscc::bayes {
@@ -93,6 +94,10 @@ struct ParallelInferenceResult {
   double bus_utilization = 0.0;
   double mean_warp = 0.0;
   int edge_cut = 0;
+  std::uint64_t read_escalations = 0;
+  /// Crash-recovery diagnostics (zero unless config.recovery was enabled).
+  recovery::Stats recovery;
+  std::uint64_t degraded_reads = 0;
 };
 
 ParallelInferenceResult run_parallel_logic_sampling(

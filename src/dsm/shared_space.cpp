@@ -20,7 +20,12 @@ const char* mode_name(Mode m) noexcept {
 }
 
 SharedSpace::SharedSpace(rt::Task& task, PropagationPolicy policy)
-    : task_(task), policy_(policy) {
+    : task_(task), policy_(std::move(policy)) {
+  if (policy_.read_timeout_jitter > 0.0) {
+    jitter_rng_.emplace(policy_.jitter_seed ^
+                        (0x9E3779B97F4A7C15ULL *
+                         static_cast<std::uint64_t>(task.id() + 1)));
+  }
   obs::Hub& hub = task.vm().obs();
   if (hub.active()) {
     obs_ = &hub;
@@ -56,6 +61,7 @@ SharedSpace::~SharedSpace() {
   reg.counter("dsm.hints_received", pid).inc(stats_.hints_received);
   reg.counter("dsm.request_replies", pid).inc(stats_.request_replies);
   reg.counter("dsm.read_escalations", pid).inc(stats_.read_escalations);
+  reg.counter("dsm.degraded_reads", pid).inc(stats_.degraded_reads);
 }
 
 void SharedSpace::declare_written(LocationId loc, std::vector<int> readers) {
@@ -210,6 +216,7 @@ void SharedSpace::apply_update(rt::Packet& payload) {
   if (iteration > v.iteration) {
     v.iteration = iteration;
     v.valid = true;
+    v.degraded = false;
     v.data = std::move(data);
     ++stats_.updates_applied;
     if (obs_ != nullptr) {
@@ -314,30 +321,54 @@ const SharedSpace::Value& SharedSpace::global_read(LocationId loc,
     // Starvation watchdog: with a read_timeout budget, a wait that outlives
     // it (e.g. the satisfying update was dropped by a lossy network)
     // escalates to an explicit demand — the kRequest impl on demand — then
-    // waits again with an exponentially larger budget.  As long as the
-    // writer keeps iterating (or can serve the demand), the read terminates
-    // with probability 1 at any loss rate < 1.
+    // waits again with an exponentially larger (capped, jittered) budget.
+    // As long as the writer keeps iterating (or can serve the demand), the
+    // read terminates with probability 1 at any loss rate < 1.
+    //
+    // Membership-aware wait: with a writer_alive probe installed, the wait
+    // is subdivided into liveness_poll quanta so a writer declared dead
+    // unblocks the reader with the freshest local copy, flagged degraded.
+    const bool degradable = static_cast<bool>(policy_.writer_alive);
+    const auto writer_it = read_from_.find(loc);
+    const int writer = writer_it != read_from_.end() ? writer_it->second : -1;
     sim::Time budget = policy_.read_timeout;
+    sim::Time remaining = budget;
     while (!v.valid || v.iteration < need) {
-      if (budget <= 0) {
+      if (degradable && writer >= 0 && !policy_.writer_alive(writer)) {
+        v.degraded = true;
+        ++stats_.degraded_reads;
+        if (obs_ != nullptr) {
+          obs_->tracer().instant(task_.id(), "dsm.read.degraded", task_.now(),
+                                 "loc", loc, "need", need);
+        }
+        break;
+      }
+      sim::Time quantum = remaining;
+      if (degradable) {
+        quantum = quantum > 0 ? std::min(quantum, policy_.liveness_poll)
+                              : policy_.liveness_poll;
+      }
+      if (quantum <= 0) {
         rt::Message msg = task_.recv(rt::kDsmUpdateTag);
         apply_update(msg.payload);
         continue;
       }
-      auto msg = task_.recv_timeout(rt::kDsmUpdateTag, budget);
+      auto msg = task_.recv_timeout(rt::kDsmUpdateTag, quantum);
       if (msg) {
         apply_update(msg->payload);
         continue;
       }
+      if (budget <= 0) continue;  // Liveness poll only, no watchdog armed.
+      remaining -= quantum;
+      if (remaining > 0) continue;
       ++stats_.read_escalations;
       if (obs_ != nullptr) {
         obs_->tracer().instant(task_.id(), "dsm.read.escalate", task_.now(),
                                "loc", loc, "need", need);
       }
       send_demand(loc, need);
-      budget = std::max<sim::Time>(
-          1, static_cast<sim::Time>(static_cast<double>(budget) *
-                                    policy_.read_timeout_backoff));
+      budget = next_backoff(budget);
+      remaining = budget;
     }
     stats_.global_read_block_time += task_.now() - blocked_from;
     if (obs_ != nullptr) {
@@ -347,12 +378,29 @@ const SharedSpace::Value& SharedSpace::global_read(LocationId loc,
                               need);
     }
   }
+  if (v.valid && v.iteration >= need) v.degraded = false;
   stats_.staleness_on_read.add(static_cast<double>(curr_iter - v.iteration));
   if (staleness_hist_ != nullptr) {
     staleness_hist_->observe(static_cast<double>(curr_iter - v.iteration));
   }
   v.data.rewind();
   return v;
+}
+
+sim::Time SharedSpace::next_backoff(sim::Time budget) {
+  auto next = std::max<sim::Time>(
+      1, static_cast<sim::Time>(static_cast<double>(budget) *
+                                policy_.read_timeout_backoff));
+  if (policy_.read_timeout_cap > 0) {
+    next = std::min(next, policy_.read_timeout_cap);
+  }
+  if (jitter_rng_.has_value()) {
+    const double j = policy_.read_timeout_jitter;
+    const double scale = jitter_rng_->uniform(1.0 - j, 1.0 + j);
+    next = std::max<sim::Time>(
+        1, static_cast<sim::Time>(static_cast<double>(next) * scale));
+  }
+  return next;
 }
 
 Iteration SharedSpace::local_iteration(LocationId loc) const {

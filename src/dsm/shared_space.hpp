@@ -27,12 +27,14 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "obs/obs.hpp"
 #include "rt/packet.hpp"
 #include "rt/vm.hpp"
 #include "sim/time.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 
 namespace nscc::dsm {
@@ -70,11 +72,33 @@ struct PropagationPolicy {
   sim::Time read_timeout = 0;
   /// Multiplier applied to the budget after each escalation.
   double read_timeout_backoff = 2.0;
+  /// Upper bound on the escalation budget (0 = uncapped).  Without a cap
+  /// the exponential backoff can grow past the writer's whole lifetime and
+  /// a single unlucky loss starves the reader for the rest of the run.
+  sim::Time read_timeout_cap = 0;
+  /// Deterministic jitter applied to each post-escalation budget: the next
+  /// budget is scaled by a factor uniform in [1-j, 1+j] drawn from a stream
+  /// seeded by (jitter_seed ^ task id), so simultaneously starved readers
+  /// stop demanding in lockstep bursts.  0 disables (byte-identical to the
+  /// unjittered watchdog).
+  double read_timeout_jitter = 0.0;
+  /// Seed for the jitter stream (conventionally the machine's fault seed).
+  std::uint64_t jitter_seed = 0;
   /// Send DSM updates over the reliable transport channel (when the machine
   /// has one enabled).  Synchronous-mode drivers set this: age-0 reads make
   /// every update semantically load-bearing.  Asynchronous modes leave it
   /// off and lean on staleness tolerance instead.
   bool reliable_updates = false;
+  /// Membership probe from the recovery subsystem's failure detector.  When
+  /// set, a blocked Global_Read polls it (every liveness_poll of wait) and,
+  /// if the location's writer has been declared dead, gives up waiting and
+  /// returns the freshest local copy with Value::degraded set — the paper's
+  /// kWait escalated to "last known value + staleness flag" so survivors
+  /// run in degraded mode instead of blocking on a corpse.  Null (default)
+  /// = everyone is presumed alive, byte-identical to the pre-recovery wait.
+  std::function<bool(int)> writer_alive;
+  /// How often a blocked read re-checks writer_alive.
+  sim::Time liveness_poll = 10 * sim::kMillisecond;
 };
 
 struct DsmStats {
@@ -90,6 +114,7 @@ struct DsmStats {
   std::uint64_t hints_received = 0;     ///< Writer side: starved readers seen.
   std::uint64_t request_replies = 0;    ///< Writer side: demand-driven resends.
   std::uint64_t read_escalations = 0;   ///< Watchdog-triggered demands.
+  std::uint64_t degraded_reads = 0;     ///< Reads unblocked by a dead writer.
   util::RunningStats staleness_on_read;  ///< curr_iter - value iteration.
 };
 
@@ -116,6 +141,11 @@ class SharedSpace {
     Iteration iteration = -1;  ///< Writer iteration that generated it.
     rt::Packet data;           ///< Opaque payload (rewound before return).
     bool valid = false;        ///< False until the first update/write lands.
+    /// True when the last global_read returned this copy because the writer
+    /// is dead (membership said so), not because it met the age bound.  A
+    /// never-written location can come back degraded AND !valid — callers
+    /// must still check valid.
+    bool degraded = false;
   };
 
   /// Writer side: store locally with the iteration stamp and propagate to
@@ -177,6 +207,7 @@ class SharedSpace {
                    rt::Reliability reliability = rt::Reliability::kAuto);
   void on_update_settled(LocationId loc, int reader, bool delivered);
   void send_demand(LocationId loc, Iteration need);
+  [[nodiscard]] sim::Time next_backoff(sim::Time budget);
 
   rt::Task& task_;
   PropagationPolicy policy_;
@@ -195,6 +226,9 @@ class SharedSpace {
   std::map<LocationId, Value> local_;          // Locations we read or wrote.
   std::map<LocationId, WriterState> written_;  // Locations we write.
   std::map<LocationId, int> read_from_;        // Location -> writer task.
+  /// Jitter stream for the watchdog backoff; engaged only when the policy
+  /// asks for jitter, so default runs draw nothing and stay byte-identical.
+  std::optional<util::Xoshiro256> jitter_rng_;
   DsmStats stats_;
 };
 

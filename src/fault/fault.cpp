@@ -110,13 +110,31 @@ void add_flags(util::Flags& flags) {
                "seed for the fault injector's RNG stream")
       .add_double("read-timeout-ms", 0.0,
                   "Global_Read starvation watchdog budget in virtual ms "
-                  "(0 disables escalation)");
+                  "(0 disables escalation)")
+      .add_double("crash-at", 0.0,
+                  "virtual seconds at which --crash-node loses its state "
+                  "(0 disables the crash window)")
+      .add_double("crash-for", 1.0,
+                  "length of the crash window in virtual seconds")
+      .add_int("crash-node", 1, "node id torn down at --crash-at");
 }
 
 FaultPlan plan_from_flags(const util::Flags& flags) {
   FaultPlan plan;
   plan.seed = static_cast<std::uint64_t>(flags.get_int("fault-seed"));
   plan.link.loss_prob = flags.get_double("loss-rate");
+  const double crash_at = flags.get_double("crash-at");
+  if (crash_at > 0.0) {
+    const auto start = static_cast<sim::Time>(crash_at * sim::kSecond);
+    const auto span = static_cast<sim::Time>(
+        std::max(0.0, flags.get_double("crash-for")) * sim::kSecond);
+    plan.nodes[static_cast<int>(flags.get_int("crash-node"))].crashes.push_back(
+        Window{start, start + span});
+    // A flag-scheduled crash is a real crash: the victim's fiber is torn
+    // down, not just its links.  (Plans built in code default to kLossy so
+    // pre-recovery behaviour stays byte-identical.)
+    plan.crash_semantics = CrashSemantics::kStateful;
+  }
   return plan;
 }
 

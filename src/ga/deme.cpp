@@ -111,6 +111,13 @@ void Deme::incorporate(const std::vector<Individual>& migrants,
   }
 }
 
+void Deme::restore(std::vector<Individual> population, int generation) {
+  population_ = std::move(population);
+  generation_ = generation;
+  worst_window_.clear();
+  worst_window_.push_back(worst_fitness());
+}
+
 EvalCount Deme::step() {
   assert(!population_.empty() && "initialize() must be called first");
   EvalCount count;

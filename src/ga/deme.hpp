@@ -64,6 +64,11 @@ class Deme {
   /// migrants", bounded so a deme is never wiped out by P-1 senders).
   void incorporate(const std::vector<Individual>& migrants, int replace_count);
 
+  /// Checkpoint restore: adopt an already-evaluated population as the state
+  /// at `generation`.  The scaling window restarts from the population's
+  /// current worst (its deeper history is not worth checkpointing).
+  void restore(std::vector<Individual> population, int generation);
+
   [[nodiscard]] int generation() const noexcept { return generation_; }
   [[nodiscard]] const std::vector<Individual>& population() const noexcept {
     return population_;

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "ga/chromosome.hpp"
 #include "net/load_generator.hpp"
+#include "recovery/recovery.hpp"
 
 namespace nscc::ga {
 
@@ -15,6 +17,55 @@ namespace {
 
 /// Shared-location id for deme d's migrant buffer.
 dsm::LocationId migrant_loc(int deme) { return 100 + deme; }
+
+/// Everything a deme needs to continue from generation `gen` after a
+/// crash-restart: its evolved population, the best-so-far tracker, and the
+/// per-source frontier of migrants already incorporated.
+class DemeSnapshot : public recovery::Checkpointable {
+ public:
+  DemeSnapshot(Deme& deme, double& best_so_far,
+               std::map<int, dsm::Iteration>& taken, const TestFunction& fn)
+      : deme_(deme), best_so_far_(best_so_far), taken_(taken), fn_(fn) {}
+
+  rt::Packet checkpoint_state() override {
+    rt::Packet p;
+    p.pack_i32(deme_.generation());
+    p.pack_double(best_so_far_);
+    p.pack_u32(static_cast<std::uint32_t>(taken_.size()));
+    for (const auto& [src, iter] : taken_) {
+      p.pack_i32(src);
+      p.pack_i64(iter);
+    }
+    const auto& pop = deme_.population();
+    p.pack_u32(static_cast<std::uint32_t>(pop.size()));
+    for (const Individual& ind : pop) pack_individual(p, ind, fn_);
+    return p;
+  }
+
+  void restore_state(rt::Packet& p) override {
+    const int gen = p.unpack_i32();
+    best_so_far_ = p.unpack_double();
+    taken_.clear();
+    const std::uint32_t ntaken = p.unpack_u32();
+    for (std::uint32_t i = 0; i < ntaken; ++i) {
+      const int src = p.unpack_i32();
+      taken_[src] = p.unpack_i64();
+    }
+    const std::uint32_t n = p.unpack_u32();
+    std::vector<Individual> pop;
+    pop.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      pop.push_back(unpack_individual(p, fn_));
+    }
+    deme_.restore(std::move(pop), gen);
+  }
+
+ private:
+  Deme& deme_;
+  double& best_so_far_;
+  std::map<int, dsm::Iteration>& taken_;
+  const TestFunction& fn_;
+};
 
 struct DemeOutcome {
   std::vector<std::pair<sim::Time, double>> best_points;
@@ -36,6 +87,11 @@ IslandResult run_island_ga(const IslandConfig& config,
   machine.seed = config.seed;
 
   rt::VirtualMachine vm(machine);
+
+  std::unique_ptr<recovery::Coordinator> coord;
+  if (config.recovery.enabled()) {
+    coord = std::make_unique<recovery::Coordinator>(vm, config.recovery);
+  }
 
   // Persistent node speed factors (load skew across the cluster).
   util::Xoshiro256 skew_rng(config.seed ^ 0x5ca1eULL);
@@ -59,6 +115,14 @@ IslandResult run_island_ga(const IslandConfig& config,
       if (config.mode == dsm::Mode::kSynchronous &&
           task.vm().config().transport.enabled) {
         prop.reliable_updates = true;
+      }
+      recovery::Coordinator* rc = coord.get();
+      if (rc != nullptr) {
+        prop.writer_alive = [rc](int node) { return rc->alive(node); };
+        // Rejoin liveness needs the starvation watchdog: a restarted deme's
+        // empty cache is only refilled promptly by explicit demands (peers
+        // blocked on *it* cannot be publishing meanwhile).
+        if (prop.read_timeout <= 0) prop.read_timeout = 50 * sim::kMillisecond;
       }
       dsm::SharedSpace space(task, prop);
       std::vector<int> readers;
@@ -110,12 +174,27 @@ IslandResult run_island_ga(const IslandConfig& config,
         space.write(migrant_loc(d), gen, std::move(p));
       };
 
-      charge(deme.initialize(), 0);
-      record();
-      publish(0);
-
       // Freshest migrant iteration already incorporated, per source deme.
       std::map<int, dsm::Iteration> taken;
+
+      // Crash-restart: a respawned incarnation restores the last snapshot
+      // and continues from its generation; the adaptive-age controller and
+      // scaling-window history restart fresh (part of the quality delta a
+      // crash costs).
+      DemeSnapshot snapshot(deme, best_so_far, taken, fn);
+      const std::int64_t restored =
+          rc != nullptr ? rc->restore(task, snapshot) : -1;
+      if (restored < 0) {
+        charge(deme.initialize(), 0);
+        record();
+        publish(0);
+        if (rc != nullptr) rc->maybe_checkpoint(task, 0, snapshot);
+      } else {
+        // Re-announce the restored state: peers with newer copies drop the
+        // update as stale; our own local copy must exist to serve demands.
+        record();
+        publish(restored);
+      }
 
       // Dynamic age setting (paper Section 6): per-deme controller fed one
       // observation per generation.
@@ -125,7 +204,10 @@ IslandResult run_island_ga(const IslandConfig& config,
       sim::Time last_gen_start = task.now();
       sim::Time last_block_time = 0;
 
-      for (int gen = 1; gen <= config.generations; ++gen) {
+      // Generation 0 is covered by either the initialize+publish above or
+      // the restored checkpoint, so the loop resumes after it.
+      for (int gen = static_cast<int>(restored < 0 ? 0 : restored) + 1;
+           gen <= config.generations; ++gen) {
         if (config.mode == dsm::Mode::kSynchronous) task.barrier();
         const dsm::Iteration age = adaptive ? controller.age() : config.age;
         double gen_max_staleness = 0.0;
@@ -166,6 +248,9 @@ IslandResult run_island_ga(const IslandConfig& config,
         charge(deme.step(), 0);
         record();
         publish(gen);
+        // A generation boundary is restart-safe: the publish above already
+        // carries everything peers may demand from this deme.
+        if (rc != nullptr) rc->maybe_checkpoint(task, gen, snapshot);
 
         if (adaptive) {
           const sim::Time now = task.now();
@@ -225,7 +310,10 @@ IslandResult run_island_ga(const IslandConfig& config,
   for (int d = 0; d < config.ndemes; ++d) {
     result.read_escalations +=
         outcomes[static_cast<std::size_t>(d)].dsm.read_escalations;
+    result.degraded_reads +=
+        outcomes[static_cast<std::size_t>(d)].dsm.degraded_reads;
   }
+  if (coord != nullptr) result.recovery = coord->stats();
   result.retransmissions = vm.transport_stats().retransmissions;
   result.frames_lost =
       vm.bus().stats().frames_lost +

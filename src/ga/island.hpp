@@ -21,6 +21,7 @@
 #include "dsm/shared_space.hpp"
 #include "ga/sequential.hpp"
 #include "harness/run_config.hpp"
+#include "recovery/recovery.hpp"
 #include "rt/vm.hpp"
 
 namespace nscc::ga {
@@ -71,6 +72,9 @@ struct IslandResult {
   std::uint64_t frames_lost = 0;       ///< Fault-injected wire losses.
   std::uint64_t retransmissions = 0;   ///< Reliable-transport resends.
   std::uint64_t read_escalations = 0;  ///< Global_Read watchdog demands.
+  /// Crash-recovery diagnostics (zero unless config.recovery was enabled).
+  recovery::Stats recovery;
+  std::uint64_t degraded_reads = 0;  ///< Reads served stale past a dead peer.
 };
 
 /// Run one island-GA experiment on a fresh simulated machine.  `machine`

@@ -7,6 +7,7 @@
 #include "harness/run_config.hpp"
 #include "harness/workload.hpp"
 #include "obs/obs.hpp"
+#include "recovery/recovery.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
@@ -35,7 +36,11 @@ int drive(int argc, char** argv, const DriveOptions& options) {
                     ? "sp2"
                     : "ethernet",
                 {"ethernet", "sp2"},
-                "interconnect: shared 10 Mbps Ethernet or SP2 switch");
+                "interconnect: shared 10 Mbps Ethernet or SP2 switch")
+      .add_enum("recovery", "none", {"none", "degraded", "rejoin"},
+                "crash-recovery policy for stateful (--crash-at) windows")
+      .add_double("checkpoint-interval", 0.5,
+                  "virtual seconds between node checkpoints (0 disables)");
   obs::add_flags(flags);
   fault::add_flags(flags);
   workload->register_params(flags);
@@ -62,6 +67,11 @@ int drive(int argc, char** argv, const DriveOptions& options) {
   RunConfig base;
   base.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   base.propagation.read_timeout = read_timeout;
+  base.recovery.policy =
+      *recovery::policy_from_name(flags.get_string("recovery"));
+  base.recovery.checkpoint_interval = static_cast<sim::Time>(
+      flags.get_double("checkpoint-interval") *
+      static_cast<double>(sim::kSecond));
   workload->print_reference(std::cout, base);
 
   struct Row {
@@ -88,7 +98,7 @@ int drive(int argc, char** argv, const DriveOptions& options) {
       rt::MachineConfig machine;
       machine.network = network;
       machine.fault = plan;
-      machine.transport.enabled = !plan.empty();
+      machine.transport.enabled = !plan.empty() || run.recovery.enabled();
       // Observe only the Global_Read variant of the last scenario so
       // --trace-out / --metrics-out capture exactly one run (the one the
       // paper's mechanism is about).
@@ -111,6 +121,11 @@ int drive(int argc, char** argv, const DriveOptions& options) {
                            "bus util"});
   if (any_fault) {
     cols.insert(cols.end(), {"frames lost", "retx", "escalations"});
+  }
+  const bool any_recovery = base.recovery.enabled();
+  if (any_recovery) {
+    cols.insert(cols.end(),
+                {"crashes", "restores", "rejoins", "degraded reads"});
   }
   table.columns(cols);
   for (const auto& row : rows) {
@@ -136,9 +151,25 @@ int drive(int argc, char** argv, const DriveOptions& options) {
       table.cell(s.frames_lost).cell(s.retransmissions).cell(
           s.read_escalations);
     }
+    if (any_recovery) {
+      table.cell(s.crashes).cell(s.restores).cell(s.rejoins).cell(
+          s.degraded_reads);
+    }
   }
   table.print(std::cout);
   if (!options.epilogue.empty()) std::cout << '\n' << options.epilogue << '\n';
+
+  // A deadlocked run is a wedged experiment, not a data point: fail loudly
+  // so scripts and CI cannot mistake the table for a healthy result.
+  for (const auto& row : rows) {
+    if (row.stats.deadlocked) {
+      std::cerr << "harness: deadlock — variant '" << row.variant
+                << "' never completed (blocked processes reported above by "
+                   "the simulator); rerun with --recovery=degraded or "
+                   "--recovery=rejoin to survive crash faults\n";
+      return 3;
+    }
+  }
   return 0;
 }
 

@@ -18,6 +18,14 @@ std::vector<std::pair<std::string, double>> RunStats::to_fields() const {
       {"frames_lost", static_cast<double>(frames_lost)},
       {"retransmissions", static_cast<double>(retransmissions)},
       {"read_escalations", static_cast<double>(read_escalations)},
+      {"crashes", static_cast<double>(crashes)},
+      {"checkpoints_taken", static_cast<double>(checkpoints_taken)},
+      {"restores", static_cast<double>(restores)},
+      {"rejoins", static_cast<double>(rejoins)},
+      {"degraded_reads", static_cast<double>(degraded_reads)},
+      {"detection_latency_s", sim::to_seconds(detection_latency)},
+      {"recovery_latency_s", sim::to_seconds(recovery_latency)},
+      {"lost_iterations", static_cast<double>(lost_iterations)},
       {quality_name, quality},
   };
   fields.insert(fields.end(), extra.begin(), extra.end());

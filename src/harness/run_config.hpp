@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "dsm/shared_space.hpp"
+#include "recovery/recovery.hpp"
 #include "sim/time.hpp"
 
 namespace nscc::harness {
@@ -35,6 +36,10 @@ struct RunConfig {
   dsm::PropagationPolicy propagation;
   /// Background-load payload bits per second on the interconnect (0 = none).
   double loader_offered_bps = 0.0;
+  /// Crash-restart recovery (checkpointing, failure detection, rejoin).
+  /// Policy::kNone leaves every run byte-identical to the pre-recovery
+  /// harness; kDegraded/kRejoin attach a recovery::Coordinator to the VM.
+  recovery::Config recovery;
 };
 
 /// The unified result every workload reports: the completion/mechanism
@@ -54,6 +59,15 @@ struct RunStats {
   std::uint64_t frames_lost = 0;
   std::uint64_t retransmissions = 0;
   std::uint64_t read_escalations = 0;
+  /// Crash-recovery counters (zero unless a recovery policy was active).
+  std::uint64_t crashes = 0;
+  std::uint64_t checkpoints_taken = 0;
+  std::uint64_t restores = 0;
+  std::uint64_t rejoins = 0;
+  std::uint64_t degraded_reads = 0;
+  sim::Time detection_latency = 0;  ///< Summed crash->declared-dead.
+  sim::Time recovery_latency = 0;   ///< Summed crash->respawn.
+  std::int64_t lost_iterations = 0; ///< Progress rolled back by restores.
   /// The workload's own figure of merit (best fitness, posterior, residual,
   /// training loss, ...), labelled so tables and JSON stay self-describing.
   std::string quality_name = "quality";

@@ -23,6 +23,19 @@ void fill_common(RunStats& stats, const Result& r) {
   stats.bus_utilization = r.bus_utilization;
 }
 
+/// Crash-recovery counters (every workload result embeds recovery::Stats).
+template <typename Result>
+void fill_recovery(RunStats& stats, const Result& r) {
+  stats.crashes = r.recovery.crashes;
+  stats.checkpoints_taken = r.recovery.checkpoints_taken;
+  stats.restores = r.recovery.restores + r.recovery.cold_restarts;
+  stats.rejoins = r.recovery.rejoins;
+  stats.degraded_reads = r.degraded_reads;
+  stats.detection_latency = r.recovery.detection_latency;
+  stats.recovery_latency = r.recovery.recovery_latency;
+  stats.lost_iterations = r.recovery.lost_iterations;
+}
+
 }  // namespace
 
 // ---- ga.island -------------------------------------------------------------
@@ -63,6 +76,7 @@ RunStats GaIslandWorkload::run(const RunConfig& run,
   stats.frames_lost = r.frames_lost;
   stats.retransmissions = r.retransmissions;
   stats.read_escalations = r.read_escalations;
+  fill_recovery(stats, r);
   stats.quality_name = "best_fitness";
   stats.quality = r.best_fitness;
   stats.extra = {{"final_average", r.final_average},
@@ -134,6 +148,8 @@ RunStats BayesSamplingWorkload::run(const RunConfig& run,
   fill_common(stats, r);
   stats.bytes_sent = r.bytes_sent;
   stats.mean_warp = r.mean_warp;
+  stats.read_escalations = r.read_escalations;
+  fill_recovery(stats, r);
   stats.quality_name = "P(coma|cancer)";
   stats.quality = r.estimates.empty() ? 0.0 : r.estimates[0].probability;
   stats.extra = {
@@ -198,6 +214,8 @@ RunStats JacobiWorkload::run(const RunConfig& run,
   RunStats stats;
   fill_common(stats, r);
   stats.mean_staleness = r.mean_staleness;
+  stats.read_escalations = r.read_escalations;
+  fill_recovery(stats, r);
   stats.quality_name = "residual";
   stats.quality = r.residual;
   stats.extra = {{"sweeps", static_cast<double>(r.sweeps)},
@@ -252,6 +270,8 @@ RunStats NnTrainWorkload::run(const RunConfig& run,
   RunStats stats;
   fill_common(stats, r);
   stats.mean_staleness = r.mean_staleness;
+  stats.read_escalations = r.read_escalations;
+  fill_recovery(stats, r);
   stats.quality_name = "final_loss";
   stats.quality = r.final_loss;
   stats.extra = {{"final_accuracy", r.final_accuracy}};

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
+#include <optional>
+#include <utility>
 
 #include "net/load_generator.hpp"
+#include "recovery/recovery.hpp"
 
 namespace nscc::nn {
 
@@ -21,6 +25,72 @@ sim::Time eval_cost(const Mlp& net, std::size_t examples, sim::Time per_mac) {
   return static_cast<sim::Time>(net.parameter_count()) *
          static_cast<sim::Time>(examples) * 2 * per_mac;
 }
+
+/// Server checkpoint: the model plus the per-worker applied frontier.  The
+/// gradient stream has no collective framing (each message is step-stamped),
+/// so a snapshot is safe at any message boundary.
+class ServerSnapshot : public recovery::Checkpointable {
+ public:
+  ServerSnapshot(Mlp& net, std::vector<int>& applied,
+                 dsm::Iteration& published_round, int& applications)
+      : net_(net),
+        applied_(applied),
+        published_round_(published_round),
+        applications_(applications) {}
+
+  rt::Packet checkpoint_state() override {
+    rt::Packet p;
+    p.pack_double_vec(net_.parameters());
+    p.pack_u32(static_cast<std::uint32_t>(applied_.size()));
+    for (int a : applied_) p.pack_i32(a);
+    p.pack_i64(published_round_);
+    p.pack_i32(applications_);
+    return p;
+  }
+
+  void restore_state(rt::Packet& p) override {
+    net_.set_parameters(p.unpack_double_vec());
+    const std::uint32_t n = p.unpack_u32();
+    applied_.assign(n, 0);
+    for (std::uint32_t i = 0; i < n; ++i) applied_[i] = p.unpack_i32();
+    published_round_ = p.unpack_i64();
+    applications_ = p.unpack_i32();
+  }
+
+ private:
+  Mlp& net_;
+  std::vector<int>& applied_;
+  dsm::Iteration& published_round_;
+  int& applications_;
+};
+
+/// Worker checkpoint: loop position plus the last-seen parameters (the next
+/// step refreshes them from the shared space anyway; carrying them keeps a
+/// cold cache from training on initialisation weights).
+class WorkerSnapshot : public recovery::Checkpointable {
+ public:
+  WorkerSnapshot(int& step_done, std::size_t& cursor, Mlp& net)
+      : step_done_(step_done), cursor_(cursor), net_(net) {}
+
+  rt::Packet checkpoint_state() override {
+    rt::Packet p;
+    p.pack_i32(step_done_);
+    p.pack_u64(cursor_);
+    p.pack_double_vec(net_.parameters());
+    return p;
+  }
+
+  void restore_state(rt::Packet& p) override {
+    step_done_ = p.unpack_i32();
+    cursor_ = static_cast<std::size_t>(p.unpack_u64());
+    net_.set_parameters(p.unpack_double_vec());
+  }
+
+ private:
+  int& step_done_;
+  std::size_t& cursor_;
+  Mlp& net_;
+};
 
 }  // namespace
 
@@ -76,6 +146,12 @@ TrainResult train_parallel(const Dataset& data, const TrainConfig& config,
   machine.seed = config.seed;
   rt::VirtualMachine vm(machine);
 
+  std::unique_ptr<recovery::Coordinator> coord;
+  if (config.recovery.enabled()) {
+    coord = std::make_unique<recovery::Coordinator>(vm, config.recovery);
+  }
+  recovery::Coordinator* rc = coord.get();
+
   util::Xoshiro256 skew_rng(config.seed ^ 0x5ca1eULL);
   std::vector<double> speed(static_cast<std::size_t>(P + 1));
   for (double& s : speed) {
@@ -99,13 +175,24 @@ TrainResult train_parallel(const Dataset& data, const TrainConfig& config,
       p.pack_double_vec(net.parameters());
       space.write(kParamsLoc, round, std::move(p));
     };
-    publish(0);
 
     std::vector<int> applied(static_cast<std::size_t>(P + 1), 0);
     std::vector<std::vector<double>> pending_sync(
         static_cast<std::size_t>(P + 1));
     dsm::Iteration published_round = 0;
     int applications = 0;
+
+    ServerSnapshot snapshot(net, applied, published_round, applications);
+    const std::int64_t restored =
+        rc != nullptr ? rc->restore(task, snapshot) : -1;
+    if (restored < 0) {
+      publish(0);
+      if (rc != nullptr) rc->maybe_checkpoint(task, 0, snapshot);
+    } else {
+      // Re-announce the restored model; gradients applied since the snapshot
+      // (and any lost in the crash) are simply dropped progress.
+      publish(published_round);
+    }
 
     auto maybe_eval = [&] {
       if (applications % config.eval_every != 0) return;
@@ -119,13 +206,39 @@ TrainResult train_parallel(const Dataset& data, const TrainConfig& config,
     auto min_applied = [&] {
       int m = std::numeric_limits<int>::max();
       for (int w = 1; w <= P; ++w) {
+        // Dead (or already finished) workers cannot contribute further
+        // gradients; waiting on their frontier would block the run forever.
+        if (rc != nullptr && !rc->alive(w)) continue;
         m = std::min(m, applied[static_cast<std::size_t>(w)]);
       }
       return m;
     };
 
     while (min_applied() < config.steps) {
-      rt::Message msg = task.recv(kGradientTag);
+      std::optional<rt::Message> maybe;
+      if (rc != nullptr) {
+        maybe = task.recv_timeout(kGradientTag,
+                                  rc->config().heartbeat_interval);
+        if (!maybe) {
+          // No gradient this interval — membership may have changed.  The
+          // published round is the min over *alive* workers, so a death can
+          // advance it even with no new gradient; republishing here is what
+          // unblocks survivors whose Global_Read was waiting on the dead
+          // worker's frontier.
+          if (config.mode != dsm::Mode::kSynchronous) {
+            const int m = min_applied();
+            if (m != std::numeric_limits<int>::max() &&
+                static_cast<dsm::Iteration>(m) > published_round) {
+              published_round = static_cast<dsm::Iteration>(m);
+              publish(published_round);
+            }
+          }
+          continue;
+        }
+      } else {
+        maybe = task.recv(kGradientTag);
+      }
+      rt::Message msg = std::move(*maybe);
       const int step = msg.payload.unpack_i32();
       auto grad = msg.payload.unpack_double_vec();
 
@@ -164,13 +277,19 @@ TrainResult train_parallel(const Dataset& data, const TrainConfig& config,
             static_cast<double>(static_cast<sim::Time>(net.parameter_count()) *
                                 2 * config.cost_per_mac) *
             speed[0]));
-        applied[static_cast<std::size_t>(msg.src)] = step;
+        // Retransmits can leapfrog: a lost step-k gradient may be redelivered
+        // after step k+1 already arrived.  The frontier is the max seen.
+        applied[static_cast<std::size_t>(msg.src)] =
+            std::max(applied[static_cast<std::size_t>(msg.src)], step);
         const auto round = static_cast<dsm::Iteration>(min_applied());
         if (round > published_round) {
           published_round = round;
           publish(published_round);
         }
         maybe_eval();
+      }
+      if (rc != nullptr) {
+        rc->maybe_checkpoint(task, applications, snapshot);
       }
     }
     result.final_loss = net.loss(data.inputs, data.targets);
@@ -181,7 +300,13 @@ TrainResult train_parallel(const Dataset& data, const TrainConfig& config,
   for (int w = 1; w <= P; ++w) {
     vm.add_task("worker" + std::to_string(w), [&, w](rt::Task& task) {
       Mlp net(config.layers, config.seed);
-      dsm::SharedSpace space(task, {.read_timeout = config.propagation.read_timeout});
+      dsm::PropagationPolicy prop{
+          .read_timeout = config.propagation.read_timeout};
+      if (rc != nullptr) {
+        prop.writer_alive = [rcp = rc](int node) { return rcp->alive(node); };
+        if (prop.read_timeout <= 0) prop.read_timeout = 50 * sim::kMillisecond;
+      }
+      dsm::SharedSpace space(task, prop);
       space.declare_read(kParamsLoc, 0);
       util::Xoshiro256 jitter_rng = task.rng().split(0xba5e);
       const double my_speed = speed[static_cast<std::size_t>(w)];
@@ -190,8 +315,16 @@ TrainResult train_parallel(const Dataset& data, const TrainConfig& config,
       std::size_t cursor = static_cast<std::size_t>(w - 1) *
                            static_cast<std::size_t>(config.batch_size);
       std::vector<double> grad;
+      int step_done = 0;
 
-      for (int step = 1; step <= config.steps; ++step) {
+      WorkerSnapshot snapshot(step_done, cursor, net);
+      const std::int64_t restored =
+          rc != nullptr ? rc->restore(task, snapshot) : -1;
+      if (restored < 0 && rc != nullptr) {
+        rc->maybe_checkpoint(task, 0, snapshot);
+      }
+
+      for (int step = step_done + 1; step <= config.steps; ++step) {
         const dsm::SharedSpace::Value* v = nullptr;
         switch (config.mode) {
           case dsm::Mode::kSynchronous:
@@ -226,6 +359,8 @@ TrainResult train_parallel(const Dataset& data, const TrainConfig& config,
         g.pack_i32(step);
         g.pack_double_vec(grad);
         task.send(0, kGradientTag, std::move(g));
+        step_done = step;
+        if (rc != nullptr) rc->maybe_checkpoint(task, step, snapshot);
       }
       worker_dsm[static_cast<std::size_t>(w - 1)] = space.stats();
     });
@@ -249,7 +384,10 @@ TrainResult train_parallel(const Dataset& data, const TrainConfig& config,
   for (const auto& d : worker_dsm) {
     result.global_read_blocks += d.global_read_blocks;
     result.global_read_block_time += d.global_read_block_time;
+    result.read_escalations += d.read_escalations;
+    result.degraded_reads += d.degraded_reads;
   }
+  if (coord != nullptr) result.recovery = coord->stats();
   result.mean_staleness = staleness.mean();
   return result;
 }

@@ -27,6 +27,7 @@
 #include "dsm/shared_space.hpp"
 #include "harness/run_config.hpp"
 #include "nn/mlp.hpp"
+#include "recovery/recovery.hpp"
 #include "rt/vm.hpp"
 
 namespace nscc::nn {
@@ -62,6 +63,10 @@ struct TrainResult {
   sim::Time global_read_block_time = 0;
   double mean_staleness = 0.0;
   double bus_utilization = 0.0;
+  std::uint64_t read_escalations = 0;
+  /// Crash-recovery diagnostics (zero unless config.recovery was enabled).
+  recovery::Stats recovery;
+  std::uint64_t degraded_reads = 0;
 
   /// First virtual time at which the training loss reached `target`;
   /// -1 when never.

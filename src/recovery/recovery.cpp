@@ -1,0 +1,246 @@
+#include "recovery/recovery.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "rt/vm.hpp"
+
+namespace nscc::recovery {
+
+const char* policy_name(Policy p) noexcept {
+  switch (p) {
+    case Policy::kNone:
+      return "none";
+    case Policy::kDegraded:
+      return "degraded";
+    case Policy::kRejoin:
+      return "rejoin";
+  }
+  return "?";
+}
+
+std::optional<Policy> policy_from_name(const std::string& name) {
+  if (name == "none") return Policy::kNone;
+  if (name == "degraded") return Policy::kDegraded;
+  if (name == "rejoin") return Policy::kRejoin;
+  return std::nullopt;
+}
+
+Coordinator::Coordinator(rt::VirtualMachine& vm, Config cfg)
+    : vm_(vm), cfg_(cfg) {
+  vm_.add_start_hook([this] { on_start(); });
+  vm_.add_flush_hook([this] { flush_obs(); });
+}
+
+void Coordinator::on_start() {
+  const int n = vm_.size();
+  const sim::Time now = vm_.engine().now();
+  last_seen_.assign(static_cast<std::size_t>(n), now);
+  alive_.assign(static_cast<std::size_t>(n), true);
+  epochs_.assign(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    vm_.task(i).set_tag_handler(
+        rt::kHeartbeatTag, [this](rt::Message m) { on_heartbeat(m); });
+  }
+  // Crash accounting and (under kRejoin) respawn scheduling mirror the VM's
+  // own stateful-kill schedule.
+  const fault::FaultPlan& plan = vm_.config().fault;
+  if (vm_.fault_injector() != nullptr &&
+      plan.crash_semantics == fault::CrashSemantics::kStateful) {
+    for (const auto& entry : plan.nodes) {
+      const int node = entry.first;
+      if (node < 0 || node >= n) continue;
+      for (const fault::Window& w : entry.second.crashes) {
+        vm_.engine().schedule(w.start, [this] { ++stats_.crashes; });
+        if (cfg_.policy == Policy::kRejoin) {
+          vm_.engine().schedule(w.end, [this, node, w] {
+            if (vm_.task_alive(node)) return;
+            vm_.respawn_task(node);
+            ++stats_.rejoins;
+            stats_.recovery_latency += vm_.engine().now() - w.start;
+            // Grace period: the detector must not re-suspect the node
+            // before its first post-rejoin heartbeat lands.
+            last_seen_[static_cast<std::size_t>(node)] = vm_.engine().now();
+            alive_[static_cast<std::size_t>(node)] = true;
+          });
+        }
+      }
+    }
+  }
+  if (n > 1 && cfg_.heartbeat_interval > 0) {
+    tick_scheduled_ = true;
+    vm_.engine().schedule(now + cfg_.heartbeat_interval, [this] { tick(); });
+  }
+}
+
+void Coordinator::tick() {
+  tick_scheduled_ = false;
+  const int n = vm_.size();
+  const sim::Time now = vm_.engine().now();
+
+  // Progress fingerprint: total virtual compute across all tasks.  The
+  // heartbeat machinery itself charges no compute, so a frozen fingerprint
+  // means every fiber is blocked; after stall_ticks_limit of those the
+  // detector stops rescheduling itself, the event queue can drain, and the
+  // engine diagnoses the deadlock instead of heartbeating to the horizon.
+  std::uint64_t fp = 0;
+  bool any_alive = false;
+  for (int i = 0; i < n; ++i) {
+    fp += static_cast<std::uint64_t>(vm_.task(i).stats().compute_time);
+    if (vm_.task_alive(i)) any_alive = true;
+  }
+  if (!any_alive) return;
+  if (fp == last_fingerprint_) {
+    if (++stall_ticks_ >= cfg_.stall_ticks_limit) return;
+  } else {
+    stall_ticks_ = 0;
+    last_fingerprint_ = fp;
+  }
+
+  for (int i = 0; i < n; ++i) {
+    if (!vm_.task_alive(i)) continue;
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      rt::Packet hb;
+      hb.pack_u64(vm_.task(i).epoch());
+      vm_.post(i, j, rt::kHeartbeatTag, std::move(hb), {},
+               rt::Reliability::kReliable);
+    }
+  }
+
+  const auto silence_limit = static_cast<sim::Time>(
+      cfg_.phi_threshold * static_cast<double>(cfg_.heartbeat_interval));
+  for (int i = 0; i < n; ++i) {
+    if (!alive_[static_cast<std::size_t>(i)]) continue;
+    if (now - last_seen_[static_cast<std::size_t>(i)] <= silence_limit) {
+      continue;
+    }
+    // A live fiber is never silent (heartbeats are engine-context posts),
+    // so silence means the process ended.  Without a crash window on
+    // record that is normal completion, not a failure.
+    if (crash_start_before(i, now) > 0) {
+      suspect(i, now);
+    } else {
+      alive_[static_cast<std::size_t>(i)] = false;
+    }
+  }
+
+  tick_scheduled_ = true;
+  vm_.engine().schedule(now + cfg_.heartbeat_interval, [this] { tick(); });
+}
+
+void Coordinator::on_heartbeat(const rt::Message& msg) {
+  const auto src = static_cast<std::size_t>(msg.src);
+  last_seen_[src] = std::max(last_seen_[src], vm_.engine().now());
+  epochs_[src] = std::max(epochs_[src], msg.epoch);
+  if (!alive_[src]) {
+    alive_[src] = true;
+    vm_.obs().tracer().instant(msg.src, "recovery.rejoin_seen",
+                               vm_.engine().now(), "epoch",
+                               static_cast<std::int64_t>(msg.epoch));
+  }
+}
+
+void Coordinator::suspect(int node, sim::Time now) {
+  alive_[static_cast<std::size_t>(node)] = false;
+  ++stats_.suspected;
+  const sim::Time crashed = crash_start_before(node, now);
+  if (crashed > 0) stats_.detection_latency += now - crashed;
+  vm_.obs().tracer().instant(node, "recovery.suspect", now, "silence_ns",
+                             static_cast<std::int64_t>(
+                                 now - last_seen_[static_cast<std::size_t>(
+                                           node)]));
+}
+
+sim::Time Coordinator::crash_start_before(int node, sim::Time now) const {
+  const auto it = vm_.config().fault.nodes.find(node);
+  if (it == vm_.config().fault.nodes.end()) return 0;
+  sim::Time latest = 0;
+  for (const fault::Window& w : it->second.crashes) {
+    if (w.start <= now) latest = std::max(latest, w.start);
+  }
+  return latest;
+}
+
+std::int64_t Coordinator::restore(rt::Task& task, Checkpointable& app) {
+  if (task.epoch() == 0) return -1;  // Original incarnation: nothing to do.
+  const auto it = checkpoints_.find(task.id());
+  if (it == checkpoints_.end()) {
+    ++stats_.cold_restarts;
+    vm_.obs().tracer().instant(task.id(), "recovery.cold_restart", task.now());
+    return -1;
+  }
+  const Checkpoint& ck = it->second;
+  const auto cost = static_cast<sim::Time>(
+      static_cast<double>(cfg_.checkpoint_fixed_cost) +
+      cfg_.checkpoint_cost_per_byte *
+          static_cast<double>(ck.state.byte_size()));
+  task.compute(cost);
+  rt::Packet state = ck.state;  // The stored snapshot stays pristine.
+  state.rewind();
+  app.restore_state(state);
+  ++stats_.restores;
+  if (const auto lp = last_progress_.find(task.id());
+      lp != last_progress_.end() && lp->second > ck.iteration) {
+    stats_.lost_iterations += lp->second - ck.iteration;
+  }
+  vm_.obs().tracer().instant(task.id(), "recovery.restore", task.now(),
+                             "iteration", ck.iteration);
+  return ck.iteration;
+}
+
+void Coordinator::note_progress(rt::Task& task, std::int64_t iteration) {
+  last_progress_[task.id()] = iteration;
+}
+
+void Coordinator::maybe_checkpoint(rt::Task& task, std::int64_t iteration,
+                                   Checkpointable& app) {
+  note_progress(task, iteration);
+  if (cfg_.checkpoint_interval <= 0) return;
+  sim::Time& next = next_checkpoint_at_[task.id()];
+  if (task.now() < next) return;
+  next = task.now() + cfg_.checkpoint_interval;
+  Checkpoint ck;
+  ck.iteration = iteration;
+  ck.taken_at = task.now();
+  ck.state = app.checkpoint_state();
+  const auto bytes = static_cast<std::uint64_t>(ck.state.byte_size());
+  const auto cost = static_cast<sim::Time>(
+      static_cast<double>(cfg_.checkpoint_fixed_cost) +
+      cfg_.checkpoint_cost_per_byte * static_cast<double>(bytes));
+  ++stats_.checkpoints_taken;
+  stats_.checkpoint_bytes += bytes;
+  stats_.checkpoint_cost += cost;
+  checkpoints_[task.id()] = std::move(ck);
+  vm_.obs().tracer().instant(task.id(), "recovery.checkpoint", task.now(),
+                             "iteration", iteration, "bytes",
+                             static_cast<std::int64_t>(bytes));
+  task.compute(cost);
+}
+
+bool Coordinator::alive(int node) const {
+  return alive_.empty() || alive_[static_cast<std::size_t>(node)];
+}
+
+std::uint64_t Coordinator::epoch(int node) const {
+  return epochs_.empty() ? 0 : epochs_[static_cast<std::size_t>(node)];
+}
+
+void Coordinator::flush_obs() {
+  obs::Registry& reg = vm_.obs().registry();
+  reg.counter("recovery.crashes").inc(stats_.crashes);
+  reg.counter("recovery.checkpoints_taken").inc(stats_.checkpoints_taken);
+  reg.counter("recovery.checkpoint_bytes").inc(stats_.checkpoint_bytes);
+  reg.counter("recovery.restores").inc(stats_.restores);
+  reg.counter("recovery.cold_restarts").inc(stats_.cold_restarts);
+  reg.counter("recovery.rejoins").inc(stats_.rejoins);
+  reg.counter("recovery.suspected").inc(stats_.suspected);
+  reg.counter("recovery.detection_latency_ns")
+      .inc(static_cast<std::uint64_t>(stats_.detection_latency));
+  reg.counter("recovery.recovery_latency_ns")
+      .inc(static_cast<std::uint64_t>(stats_.recovery_latency));
+  reg.counter("recovery.checkpoint_cost_ns")
+      .inc(static_cast<std::uint64_t>(stats_.checkpoint_cost));
+}
+
+}  // namespace nscc::recovery

@@ -1,0 +1,190 @@
+// Crash-restart recovery: checkpointing, failure detection, and rejoin.
+//
+// The paper's age-bounded Global_Read treats a slow producer as merely a
+// stale one; the strongest corollary is that a *crashed and restarted* node
+// is just an extremely stale peer that the same semantics can reintegrate.
+// This subsystem demonstrates and measures that story (cf. Regional
+// Consistency, arXiv:1301.4490, and GCS, arXiv:2301.02576, which both argue
+// relaxed-coherence regions are the natural unit of cheap state capture):
+//
+//   * Checkpointing — each node periodically snapshots its app-registered
+//     state (a Checkpointable: the DSM-visible segment plus fiber-local
+//     loop state) into a Packet held by the Coordinator; the serialization
+//     cost is charged in virtual time (fixed setup + per-byte write).
+//   * Failure detection — every live node emits heartbeats over the rt
+//     reliable channel; a simplified phi-accrual detector (fixed expected
+//     inter-arrival, threshold measured in intervals of silence) drives an
+//     epoch-stamped membership view shared with the DSM so readers stop
+//     blocking Global_Read on dead producers and run degraded instead.
+//   * Rejoin — with Policy::kRejoin a killed task is respawned at the end
+//     of its crash window; its body restores the last checkpoint (restore
+//     cost charged), re-announces with a bumped epoch, and catches up
+//     through ordinary age-bounded reads.  Peers block on it again only
+//     once it is seen alive — rejoin is literally "become less stale".
+//
+// The Coordinator is deliberately a machine-level observer (one per VM,
+// like the WarpMeter): its membership view is the union of what individual
+// peers have heard, a modelling simplification that keeps the detector
+// deterministic without per-peer view divergence.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rt/packet.hpp"
+#include "sim/time.hpp"
+
+namespace nscc::rt {
+class Task;
+class VirtualMachine;
+struct Message;
+}  // namespace nscc::rt
+
+namespace nscc::recovery {
+
+/// What happens after a stateful crash window destroys a node's state.
+enum class Policy {
+  kNone,      ///< No detector, no checkpoints: survivors block forever.
+  kDegraded,  ///< Detect the death; peers read stale values and keep going.
+  kRejoin,    ///< Degraded + the victim restarts from its last checkpoint.
+};
+
+[[nodiscard]] const char* policy_name(Policy p) noexcept;
+[[nodiscard]] std::optional<Policy> policy_from_name(const std::string& name);
+
+struct Config {
+  Policy policy = Policy::kNone;
+  /// Virtual time between checkpoints of one node (0 disables snapshots;
+  /// detection and degraded reads still work, rejoin restarts cold).
+  sim::Time checkpoint_interval = 500 * sim::kMillisecond;
+  /// Heartbeat emission period; also the detector's expected inter-arrival.
+  sim::Time heartbeat_interval = 50 * sim::kMillisecond;
+  /// Intervals of silence before a node is declared dead (simplified
+  /// phi-accrual: fixed expected arrival, threshold in units of it).
+  double phi_threshold = 4.0;
+  /// Fixed virtual cost of taking or restoring one snapshot (quiesce +
+  /// buffer setup).
+  sim::Time checkpoint_fixed_cost = 200 * sim::kMicrosecond;
+  /// Additional virtual ns per serialized byte (a local-disk-class 50 MB/s
+  /// stream is ~20 ns/byte).
+  double checkpoint_cost_per_byte = 20.0;
+  /// Consecutive detector ticks with zero global compute progress before
+  /// the detector stops rescheduling itself.  This lets a truly wedged
+  /// run's event queue drain so sim::Engine can diagnose the deadlock
+  /// instead of heartbeating forever.
+  int stall_ticks_limit = 200;
+
+  [[nodiscard]] bool enabled() const noexcept { return policy != Policy::kNone; }
+};
+
+/// App-registered state capture.  Implementations pack *everything* a fresh
+/// incarnation of the task body needs to continue from `iteration`: the
+/// node's DSM-visible segment values and all fiber-local loop state.  The
+/// pack/unpack field order is the implementation's contract with itself.
+class Checkpointable {
+ public:
+  virtual ~Checkpointable() = default;
+  virtual rt::Packet checkpoint_state() = 0;
+  virtual void restore_state(rt::Packet& state) = 0;
+};
+
+/// Checkpointable over a pair of closures — for task bodies whose state is
+/// a web of fiber-local variables rather than one object.
+class FnCheckpoint : public Checkpointable {
+ public:
+  FnCheckpoint(std::function<rt::Packet()> save,
+               std::function<void(rt::Packet&)> load)
+      : save_(std::move(save)), load_(std::move(load)) {}
+  rt::Packet checkpoint_state() override { return save_(); }
+  void restore_state(rt::Packet& state) override { load_(state); }
+
+ private:
+  std::function<rt::Packet()> save_;
+  std::function<void(rt::Packet&)> load_;
+};
+
+struct Checkpoint {
+  std::int64_t iteration = -1;
+  sim::Time taken_at = 0;
+  rt::Packet state;
+};
+
+struct Stats {
+  std::uint64_t crashes = 0;           ///< Stateful crash windows that fired.
+  std::uint64_t checkpoints_taken = 0;
+  std::uint64_t checkpoint_bytes = 0;
+  std::uint64_t restores = 0;          ///< Restarts that found a checkpoint.
+  std::uint64_t cold_restarts = 0;     ///< Restarts that did not.
+  std::uint64_t rejoins = 0;           ///< Respawns scheduled at window end.
+  std::uint64_t suspected = 0;         ///< Detector declared-dead events.
+  sim::Time detection_latency = 0;     ///< Sum over suspicions, crash->declared.
+  sim::Time recovery_latency = 0;      ///< Sum over rejoins, crash->respawn.
+  sim::Time checkpoint_cost = 0;       ///< Virtual time charged for snapshots.
+  std::int64_t lost_iterations = 0;    ///< Progress rolled back by restores.
+};
+
+/// Machine-level recovery coordinator: failure detector, checkpoint store,
+/// and rejoin scheduler.  Construct after the VM (before run()); it hooks
+/// the VM start to install heartbeat handlers and its detector tick.
+class Coordinator {
+ public:
+  Coordinator(rt::VirtualMachine& vm, Config cfg);
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Task context, at the top of the body.  First incarnation: returns -1.
+  /// After a crash-restart: restores the last checkpoint into `app`
+  /// (charging the restore cost) and returns its iteration, or -1 when no
+  /// checkpoint was ever taken (cold restart).
+  std::int64_t restore(rt::Task& task, Checkpointable& app);
+
+  /// Task context, once per iteration: records the node's progress frontier
+  /// (used for lost-work accounting) without touching the checkpoint.
+  void note_progress(rt::Task& task, std::int64_t iteration);
+
+  /// Task context, at an iteration boundary where a restart is protocol-safe
+  /// (for workloads with anonymous collectives that means a point where no
+  /// collective round is in flight).  Takes a snapshot when the checkpoint
+  /// interval has elapsed, charging its virtual cost.
+  void maybe_checkpoint(rt::Task& task, std::int64_t iteration,
+                        Checkpointable& app);
+
+  /// Heartbeat-driven membership view.  True until the detector declares
+  /// the node dead; flips back on rejoin.
+  [[nodiscard]] bool alive(int node) const;
+
+  /// Latest epoch heard from the node (0 before any restart).
+  [[nodiscard]] std::uint64_t epoch(int node) const;
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+ private:
+  void on_start();
+  void tick();
+  void on_heartbeat(const rt::Message& msg);
+  void suspect(int node, sim::Time now);
+  [[nodiscard]] sim::Time crash_start_before(int node, sim::Time now) const;
+  void flush_obs();
+
+  rt::VirtualMachine& vm_;
+  Config cfg_;
+  Stats stats_;
+  std::vector<sim::Time> last_seen_;
+  std::vector<bool> alive_;
+  std::vector<std::uint64_t> epochs_;
+  std::map<int, Checkpoint> checkpoints_;
+  std::map<int, std::int64_t> last_progress_;
+  std::map<int, sim::Time> next_checkpoint_at_;
+  std::uint64_t last_fingerprint_ = 0;
+  int stall_ticks_ = 0;
+  bool tick_scheduled_ = false;
+};
+
+}  // namespace nscc::recovery

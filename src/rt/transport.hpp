@@ -49,8 +49,19 @@ struct ReliabilityConfig {
 /// Receiver-side duplicate filter for one (src -> me) stream.  Tracks the
 /// contiguous prefix of seen sequence numbers plus a sparse set of
 /// out-of-order arrivals (retransmits can leapfrog delayed originals).
+///
+/// Memory is bounded: the sparse set holds at most kMaxAhead entries.  When
+/// it would overflow, the cumulative floor advances to the smallest buffered
+/// seq, forgetting any gaps below it.  A gap only persists when the sender
+/// abandoned that frame (max_attempts exhausted), so nothing that will ever
+/// arrive is misclassified; a pathological replay of a forgotten gap seq
+/// would be re-delivered, which the age-bounded application layer tolerates
+/// by construction.
 class SeqTracker {
  public:
+  /// Sparse out-of-order entries kept per stream before the floor advances.
+  static constexpr std::size_t kMaxAhead = 256;
+
   /// True the first time `seq` is seen; false for any replay.
   bool fresh(std::uint64_t seq) {
     if (seq <= contiguous_) return false;
@@ -63,8 +74,26 @@ class SeqTracker {
       }
       return true;
     }
-    return ahead_.insert(seq).second;
+    if (!ahead_.insert(seq).second) return false;
+    if (ahead_.size() > kMaxAhead) {
+      // Advance the floor past the oldest gap and collapse the contiguous
+      // run that sat above it.
+      auto it = ahead_.begin();
+      contiguous_ = *it;
+      it = ahead_.erase(it);
+      while (it != ahead_.end() && *it == contiguous_ + 1) {
+        ++contiguous_;
+        it = ahead_.erase(it);
+      }
+    }
+    return true;
   }
+
+  /// Out-of-order seqs currently buffered (regression hook: stays <=
+  /// kMaxAhead no matter how many messages flow).
+  [[nodiscard]] std::size_t pending() const noexcept { return ahead_.size(); }
+  /// All seqs in [1, floor()] count as seen.
+  [[nodiscard]] std::uint64_t floor() const noexcept { return contiguous_; }
 
  private:
   std::uint64_t contiguous_ = 0;  ///< All seqs in [1, contiguous_] seen.

@@ -202,10 +202,11 @@ bool VirtualMachine::reliable_for(int tag, Reliability reliability) const {
   }
   // Application traffic and runtime control traffic ride the reliable
   // channel; DSM updates are the race-tolerant payload and stay best-effort
-  // unless the caller opts in (synchronous mode does).
+  // unless the caller opts in (synchronous mode does).  Heartbeats are
+  // control traffic: a lost heartbeat must not fake a node death.
   if (tag < kReservedTagBase) return true;
   return tag == kBarrierArriveTag || tag == kBarrierReleaseTag ||
-         tag == kDsmRequestTag;
+         tag == kDsmRequestTag || tag == kHeartbeatTag;
 }
 
 bool VirtualMachine::post(int src, int dst, int tag, Packet payload,
@@ -221,6 +222,7 @@ bool VirtualMachine::post(int src, int dst, int tag, Packet payload,
   st->msg.src = src;
   st->msg.tag = tag;
   st->msg.payload = std::move(payload);
+  st->msg.epoch = sender->epoch_;
   st->msg.sent_at = engine_.now();
   st->dst = dst;
   // ACKs have a fixed modelled wire size and are exempt from the sender
@@ -402,6 +404,43 @@ double VirtualMachine::network_utilization() const noexcept {
   return switch_ ? switch_->utilization() : bus_.utilization();
 }
 
+void VirtualMachine::kill_task(int id) {
+  Task* t = tasks_.at(static_cast<std::size_t>(id)).get();
+  if (t->process_->finished()) return;
+  engine_.kill(*t->process_);
+  // Volatile state dies with the fiber: queued messages and wait flags are
+  // gone.  NIC-level state survives the crash on purpose — in-flight frames
+  // still settle against in_flight_bytes_ (clearing it would underflow), and
+  // sequence trackers keep peers' dedup consistent across the restart.
+  // Engine-context tag handlers registered by external observers (the
+  // recovery coordinator's heartbeat sink) stay installed; the DSM
+  // unregisters its own handler as its instance unwinds.
+  t->mailbox_.clear();
+  t->waiting_ = false;
+  t->waiting_tag_ = kAnyTag;
+  t->timed_out_ = false;
+  t->waiting_for_window_ = false;
+  obs_.tracer().instant(id, "task.crash", engine_.now(), "epoch",
+                        static_cast<std::int64_t>(t->epoch_));
+}
+
+void VirtualMachine::respawn_task(int id) {
+  Task* t = tasks_.at(static_cast<std::size_t>(id)).get();
+  assert(t->process_->finished() && "respawn of a live task");
+  ++t->epoch_;
+  auto body = bodies_.at(static_cast<std::size_t>(id)).second;
+  Task* task = t;
+  t->process_ = &engine_.respawn(
+      *t->process_, [task, body](sim::Process&) { body(*task); },
+      engine_.now());
+  obs_.tracer().instant(id, "task.respawn", engine_.now(), "epoch",
+                        static_cast<std::int64_t>(t->epoch_));
+}
+
+bool VirtualMachine::task_alive(int id) const {
+  return !tasks_.at(static_cast<std::size_t>(id))->process_->finished();
+}
+
 VirtualMachine::VirtualMachine(MachineConfig config)
     : config_(config), obs_(config.obs), bus_(engine_, config.bus) {
   if (config_.ntasks < 1) {
@@ -515,6 +554,7 @@ void VirtualMachine::flush_stats() {
                                                  : 0.0);
   reg.counter("warp.samples").inc(warp_.samples());
   reg.counter("sim.events_executed").inc(engine_.events_executed());
+  for (const auto& hook : flush_hooks_) hook();
 }
 
 void VirtualMachine::add_task(std::string name,
@@ -545,6 +585,19 @@ sim::Time VirtualMachine::run(sim::Time until) {
     task->process_ = &engine_.spawn(bodies_[id].first,
                                     [task, body](sim::Process&) { body(*task); });
   }
+  // Stateful crash windows tear the victim's fiber down at the window start;
+  // the injector keeps silencing its links for the window's span either way.
+  if (injector_ != nullptr &&
+      config_.fault.crash_semantics == fault::CrashSemantics::kStateful) {
+    for (const auto& entry : config_.fault.nodes) {
+      const int node = entry.first;
+      if (node < 0 || node >= config_.ntasks) continue;
+      for (const fault::Window& w : entry.second.crashes) {
+        engine_.schedule(w.start, [this, node] { kill_task(node); });
+      }
+    }
+  }
+  for (const auto& hook : start_hooks_) hook();
   // Stop once every task body has returned, even if non-task event sources
   // (e.g. a background load generator) would keep the queue non-empty.
   const sim::Time end = engine_.run(until, [this] {

@@ -45,6 +45,9 @@ inline constexpr int kDsmUpdateTag = kReservedTagBase + 3;
 inline constexpr int kDsmRequestTag = kReservedTagBase + 4;
 /// Transport-layer acknowledgement frames (never reach a mailbox).
 inline constexpr int kAckTag = kReservedTagBase + 5;
+/// Failure-detector heartbeats (recovery::Coordinator; engine-context
+/// handled, never mailboxed by application code).
+inline constexpr int kHeartbeatTag = kReservedTagBase + 6;
 
 struct Message {
   int src = -1;
@@ -52,6 +55,10 @@ struct Message {
   Packet payload;
   /// Transport sequence number; 0 = unsequenced (best-effort frame).
   std::uint64_t seq = 0;
+  /// Sender incarnation number: 0 for the original spawn, bumped on every
+  /// crash-restart respawn.  Lets receivers tell a rejoined peer from the
+  /// one that crashed.
+  std::uint64_t epoch = 0;
   sim::Time sent_at = 0;       ///< When the sender handed it to the network.
   sim::Time delivered_at = 0;  ///< When it reached the receiver's mailbox.
 };
@@ -114,6 +121,8 @@ class Task {
   [[nodiscard]] util::Xoshiro256& rng() noexcept { return rng_; }
   [[nodiscard]] VirtualMachine& vm() noexcept { return vm_; }
   [[nodiscard]] const TaskStats& stats() const noexcept { return stats_; }
+  /// Incarnation number: 0 until the task's first crash-restart.
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
 
   /// Charge `dt` of virtual CPU time.
   void compute(sim::Time dt);
@@ -174,6 +183,7 @@ class Task {
   VirtualMachine& vm_;
   int id_;
   util::Xoshiro256 rng_;
+  std::uint64_t epoch_ = 0;
   sim::Process* process_ = nullptr;
   std::deque<Message> mailbox_;
   bool waiting_ = false;
@@ -209,6 +219,34 @@ class VirtualMachine {
   bool post(int src, int dst, int tag, Packet payload,
             std::function<void(bool delivered)> on_settled = {},
             Reliability reliability = Reliability::kAuto);
+
+  /// Tear a task's process down mid-run (crash with kStateful semantics):
+  /// the fiber unwinds, its mailbox and wait flags are lost.  Transport/NIC
+  /// state (sequence trackers, in-flight accounting) survives, as does any
+  /// engine-context tag handler registered by external observers.  Engine
+  /// context only; no-op when the task already finished.
+  void kill_task(int id);
+
+  /// Restart a killed task: the registered body runs again from the top on a
+  /// fresh fiber, with the task's epoch bumped.  The body is responsible for
+  /// restoring state (see recovery::Coordinator).  Engine context only.
+  void respawn_task(int id);
+
+  /// False once the task's process finished — whether by running to
+  /// completion or by kill_task().
+  [[nodiscard]] bool task_alive(int id) const;
+
+  /// Hook run in engine context right before the first event executes (after
+  /// all tasks are spawned).  The recovery coordinator uses it to install
+  /// heartbeat handlers and schedule its detector tick.
+  void add_start_hook(std::function<void()> hook) {
+    start_hooks_.push_back(std::move(hook));
+  }
+
+  /// Hook run when run() flushes subsystem counters into the obs registry.
+  void add_flush_hook(std::function<void()> hook) {
+    flush_hooks_.push_back(std::move(hook));
+  }
 
   [[nodiscard]] int size() const noexcept { return config_.ntasks; }
   [[nodiscard]] Task& task(int id) { return *tasks_.at(id); }
@@ -282,6 +320,8 @@ class VirtualMachine {
       pending_tx_;
   std::vector<std::unique_ptr<Task>> tasks_;
   std::vector<std::pair<std::string, std::function<void(Task&)>>> bodies_;
+  std::vector<std::function<void()>> start_hooks_;
+  std::vector<std::function<void()>> flush_hooks_;
 };
 
 }  // namespace nscc::rt

@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include <cstdio>
 #include <limits>
 #include <sstream>
 #include <utility>
@@ -122,6 +123,28 @@ void Engine::run_process(Process& p) {
   }
 }
 
+void Engine::kill(Process& p) {
+  assert(current_ != &p && "a process cannot kill itself");
+  if (p.finished()) return;
+  // The fiber unwinds on p's stack; make p the current process so any code
+  // running in destructors sees consistent engine state.
+  Process* saved = current_;
+  current_ = &p;
+  p.fiber_.kill();
+  current_ = saved;
+  p.state_ = Process::State::kFinished;
+  p.resume_scheduled_ = false;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->instant(obs::kEngineTrack, "kill", now_, "pid", p.id());
+  }
+}
+
+Process& Engine::respawn(Process& dead, std::function<void(Process&)> body,
+                         Time start) {
+  assert(dead.finished() && "respawn of a process that is still alive");
+  return spawn(dead.name(), std::move(body), start);
+}
+
 Time Engine::run(Time until, const std::function<bool()>& stop_when) {
   while (!queue_.empty()) {
     const Event& top = queue_.top();
@@ -149,6 +172,16 @@ Time Engine::run(Time until, const std::function<bool()>& stop_when) {
     if (stop_when && stop_when()) return now_;
   }
   queue_drained_ = true;
+  if (live_processes() > 0 && !deadlock_reported_) {
+    // Every runnable fiber is blocked and no timers are pending: nothing can
+    // ever wake anyone again.  Fail loudly instead of letting the caller
+    // spin to its horizon or a test harness hit its TIMEOUT.
+    deadlock_reported_ = true;
+    std::fprintf(stderr,
+                 "sim: DEADLOCK — event queue drained with %zu blocked "
+                 "process(es)\n%s",
+                 live_processes(), blocked_report().c_str());
+  }
   return now_;
 }
 

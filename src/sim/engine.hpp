@@ -109,6 +109,19 @@ class Engine {
   /// deadlocks.  Cheap enough to call unconditionally after run().
   [[nodiscard]] std::string blocked_report() const;
 
+  /// Forcibly terminate a process: its fiber is resumed one last time with
+  /// the kill flag set so the stack unwinds (destructors run), then the
+  /// process is marked finished.  Pending resume events for it become
+  /// no-ops.  Must be called from outside the victim (engine context or
+  /// another process).  Models a node crash losing all volatile state.
+  void kill(Process& p);
+
+  /// Spawn a fresh process reusing a dead process's name (crash-restart).
+  /// The new process has a new id; the caller re-wires any pointers held to
+  /// the old Process.
+  Process& respawn(Process& dead, std::function<void(Process&)> body,
+                   Time start);
+
   /// Run until the event queue drains, the clock passes `until`, or
   /// `stop_when` (checked after every event) returns true.  Returns the
   /// final virtual time.
@@ -175,6 +188,7 @@ class Engine {
   std::vector<std::unique_ptr<Process>> processes_;
   Process* current_ = nullptr;
   bool queue_drained_ = false;
+  bool deadlock_reported_ = false;
   obs::Tracer* tracer_ = nullptr;
   obs::Sampler* sampler_ = nullptr;
   Time sampler_interval_ = 0;

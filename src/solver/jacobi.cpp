@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <set>
 
 #include "net/load_generator.hpp"
+#include "recovery/recovery.hpp"
 
 namespace nscc::solver {
 
@@ -26,6 +28,35 @@ std::vector<int> block_starts(int size, int parts) {
   }
   return starts;
 }
+
+/// Everything a block task needs to continue from a reduce-round boundary:
+/// the sweep counter, its own block, and its view of the full vector.
+/// Checkpoints are taken only at reduce boundaries so a restart never
+/// replays half a residual collective (the rounds are anonymous counts).
+class BlockSnapshot : public recovery::Checkpointable {
+ public:
+  BlockSnapshot(int& sweep, std::vector<double>& x, std::vector<double>& mine)
+      : sweep_(sweep), x_(x), mine_(mine) {}
+
+  rt::Packet checkpoint_state() override {
+    rt::Packet p;
+    p.pack_i32(sweep_);
+    p.pack_double_vec(x_);
+    p.pack_double_vec(mine_);
+    return p;
+  }
+
+  void restore_state(rt::Packet& p) override {
+    sweep_ = p.unpack_i32();
+    x_ = p.unpack_double_vec();
+    mine_ = p.unpack_double_vec();
+  }
+
+ private:
+  int& sweep_;
+  std::vector<double>& x_;
+  std::vector<double>& mine_;
+};
 
 }  // namespace
 
@@ -106,6 +137,12 @@ ParallelJacobiResult run_parallel_jacobi(const LinearSystem& sys,
   }
 
   rt::VirtualMachine vm(machine);
+
+  std::unique_ptr<recovery::Coordinator> coord;
+  if (config.recovery.enabled()) {
+    coord = std::make_unique<recovery::Coordinator>(vm, config.recovery);
+  }
+
   util::Xoshiro256 skew_rng(config.seed ^ 0x5ca1eULL);
   std::vector<double> speed(static_cast<std::size_t>(P));
   for (double& s : speed) {
@@ -128,8 +165,17 @@ ParallelJacobiResult run_parallel_jacobi(const LinearSystem& sys,
       const int lo = starts[static_cast<std::size_t>(me)];
       const int hi = starts[static_cast<std::size_t>(me) + 1];
 
-      dsm::SharedSpace space(task, {.coalesce = config.propagation.coalesce,
-                                    .read_timeout = config.propagation.read_timeout});
+      dsm::PropagationPolicy prop{
+          .coalesce = config.propagation.coalesce,
+          .read_timeout = config.propagation.read_timeout};
+      recovery::Coordinator* rc = coord.get();
+      if (rc != nullptr) {
+        prop.writer_alive = [rc](int node) { return rc->alive(node); };
+        // Rejoin liveness needs the starvation watchdog (a restarted block's
+        // cache refills through explicit demands).
+        if (prop.read_timeout <= 0) prop.read_timeout = 50 * sim::kMillisecond;
+      }
+      dsm::SharedSpace space(task, prop);
       space.declare_written(block_loc(me), readers[static_cast<std::size_t>(me)]);
       for (int src : imports[static_cast<std::size_t>(me)]) {
         space.declare_read(block_loc(src), src);
@@ -164,9 +210,115 @@ ParallelJacobiResult run_parallel_jacobi(const LinearSystem& sys,
         }
       };
 
-      publish(0);
       bool done = false;
       int sweep = 0;
+
+      // The residual reduction is an anonymous collective in the legacy
+      // format; with recovery enabled each contribution is stamped with its
+      // sender and reduce round so the coordinator can skip dead peers and
+      // answer a rejoined straggler's replay of an already-finished round.
+      auto reduce = [&](double local, int round) {
+        if (me == 0) {
+          double global = local;
+          if (rc == nullptr) {
+            for (int i = 1; i < P; ++i) {
+              global = std::max(
+                  global, task.recv(kResidualTag).payload.unpack_double());
+            }
+          } else {
+            std::vector<bool> got(static_cast<std::size_t>(P), false);
+            for (;;) {
+              bool need = false;
+              for (int i = 1; i < P; ++i) {
+                if (!got[static_cast<std::size_t>(i)] && rc->alive(i)) {
+                  need = true;
+                }
+              }
+              if (!need) break;
+              auto msg = task.recv_timeout(kResidualTag,
+                                           rc->config().heartbeat_interval);
+              if (!msg) continue;  // Re-evaluate membership.
+              rt::Packet pl = msg->payload;
+              const int sender = pl.unpack_i32();
+              const int r = pl.unpack_i32();
+              const double v = pl.unpack_double();
+              if (r < round) {
+                // A rejoined node catching up through a round everyone else
+                // finished: tell it to keep sweeping.
+                rt::Packet d;
+                d.pack_i32(r);
+                d.pack_u8(0);
+                task.send(sender, kDecisionTag, d);
+                continue;
+              }
+              global = std::max(global, v);
+              got[static_cast<std::size_t>(sender)] = true;
+            }
+          }
+          out.residual = global;
+          const bool conv = global <= config.tolerance;
+          rt::Packet decision;
+          if (rc != nullptr) decision.pack_i32(round);
+          decision.pack_u8(conv ? 1 : 0);
+          for (int i = 1; i < P; ++i) {
+            if (rc == nullptr || rc->alive(i)) {
+              task.send(i, kDecisionTag, decision);
+            }
+          }
+          return conv;
+        }
+        rt::Packet p;
+        if (rc != nullptr) {
+          p.pack_i32(me);
+          p.pack_i32(round);
+        }
+        p.pack_double(local);
+        task.send(0, kResidualTag, std::move(p));
+        if (rc == nullptr) {
+          return task.recv(kDecisionTag).payload.unpack_u8() == 1;
+        }
+        // Bounded wait: while we sit here we are not publishing, and a
+        // coordinator blocked in Global_Read on *our* stale block never
+        // reaches the reduce that would answer us.  Giving up after a
+        // patience window and sweeping on breaks that cycle; the abandoned
+        // round's residual is answered inline at the coordinator's next
+        // reduce and discarded here as stale.
+        const int patience = 2 * std::max(1, static_cast<int>(
+            rc->config().phi_threshold));
+        for (int waits = 0;;) {
+          auto msg =
+              task.recv_timeout(kDecisionTag, rc->config().heartbeat_interval);
+          if (!msg) {
+            // The coordinator is gone: no decision is coming.  Keep sweeping
+            // toward max_sweeps rather than blocking forever.
+            if (!rc->alive(0)) return false;
+            if (++waits >= patience) return false;
+            continue;
+          }
+          rt::Packet pl = msg->payload;
+          const int r = pl.unpack_i32();
+          const bool conv = pl.unpack_u8() == 1;
+          // A converged decision ends the run whatever its round: under
+          // recovery the stop is tentative anyway, and a straggler that
+          // abandoned that round must not sweep past the shutdown.
+          if (conv) return true;
+          if (r < round) continue;  // A decision queued while we were down.
+          return conv;
+        }
+      };
+
+      BlockSnapshot snapshot(sweep, x, mine);
+      const std::int64_t restored =
+          rc != nullptr ? rc->restore(task, snapshot) : -1;
+      if (restored < 0) {
+        publish(0);
+        if (rc != nullptr) rc->maybe_checkpoint(task, 0, snapshot);
+      } else {
+        // Re-announce the restored block: peers with newer copies drop the
+        // update as stale; our own local copy must exist to serve demands.
+        publish(sweep);
+      }
+
       while (!done && sweep < config.max_sweeps) {
         ++sweep;
         if (config.mode == dsm::Mode::kSynchronous) task.barrier();
@@ -200,6 +352,7 @@ ParallelJacobiResult run_parallel_jacobi(const LinearSystem& sys,
         task.compute(static_cast<sim::Time>(
             static_cast<double>(sweep_cost) * my_speed * jitter));
         publish(sweep);
+        if (rc != nullptr) rc->note_progress(task, sweep);
 
         // Distributed convergence test: a loose periodic reduction on the
         // (possibly stale) local views, followed by a verified phase when it
@@ -225,31 +378,26 @@ ParallelJacobiResult run_parallel_jacobi(const LinearSystem& sys,
                 my_speed / 4.0));
             return local;
           };
-          auto reduce = [&](double local) {
-            if (me == 0) {
-              double global = local;
-              for (int i = 1; i < P; ++i) {
-                global = std::max(
-                    global, task.recv(kResidualTag).payload.unpack_double());
+          if (reduce(local_residual(), sweep)) {
+            if (rc != nullptr) {
+              // Recovery mode accepts the tentative decision: the verifying
+              // barrier cannot be run while a peer may be dead, so the stop
+              // is made on possibly-stale views (part of the degraded-mode
+              // quality loss; the driver reports the assembled residual).
+              done = true;
+            } else {
+              // Tentative pass on stale views: verify on flushed, fresh ones.
+              task.barrier();
+              space.poll();
+              for (int src : imports[static_cast<std::size_t>(me)]) {
+                absorb(src);
               }
-              out.residual = global;
-              rt::Packet decision;
-              decision.pack_u8(global <= config.tolerance ? 1 : 0);
-              for (int i = 1; i < P; ++i) task.send(i, kDecisionTag, decision);
-              return global <= config.tolerance;
+              done = reduce(local_residual(), sweep);
             }
-            rt::Packet p;
-            p.pack_double(local);
-            task.send(0, kResidualTag, std::move(p));
-            return task.recv(kDecisionTag).payload.unpack_u8() == 1;
-          };
-
-          if (reduce(local_residual())) {
-            // Tentative pass on stale views: verify on flushed, fresh ones.
-            task.barrier();
-            space.poll();
-            for (int src : imports[static_cast<std::size_t>(me)]) absorb(src);
-            done = reduce(local_residual());
+          }
+          if (rc != nullptr && !done) {
+            // Reduce-round boundary: no collective in flight, safe to snap.
+            rc->maybe_checkpoint(task, sweep, snapshot);
           }
         }
       }
@@ -289,7 +437,10 @@ ParallelJacobiResult run_parallel_jacobi(const LinearSystem& sys,
     result.global_read_block_time += out.dsm.global_read_block_time;
     staleness.merge(out.dsm.staleness_on_read);
     result.messages_sent += vm.task(p).stats().messages_sent;
+    result.read_escalations += out.dsm.read_escalations;
+    result.degraded_reads += out.dsm.degraded_reads;
   }
+  if (coord != nullptr) result.recovery = coord->stats();
   result.mean_staleness = staleness.mean();
   result.residual = sys.a.residual_inf(result.x, sys.b);
   result.converged = result.residual <= config.tolerance;

@@ -22,6 +22,7 @@
 
 #include "dsm/shared_space.hpp"
 #include "harness/run_config.hpp"
+#include "recovery/recovery.hpp"
 #include "rt/vm.hpp"
 #include "solver/linear_system.hpp"
 
@@ -70,6 +71,10 @@ struct ParallelJacobiResult : JacobiResult {
   double mean_staleness = 0.0;
   double bus_utilization = 0.0;
   bool deadlocked = false;
+  std::uint64_t read_escalations = 0;
+  /// Crash-recovery diagnostics (zero unless config.recovery was enabled).
+  recovery::Stats recovery;
+  std::uint64_t degraded_reads = 0;
 };
 
 /// Row-block parallel Jacobi on a fresh simulated machine.

@@ -1,0 +1,418 @@
+// Tests for the crash-restart recovery stack: stateful crash windows that
+// destroy process state (vs the lossy NIC-failure model), periodic
+// checkpointing charged in virtual time, heartbeat failure detection with
+// degraded reads, and the rejoin protocol — exercised end-to-end through all
+// four workloads plus targeted VM- and transport-level checks.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "harness/run_config.hpp"
+#include "harness/workloads.hpp"
+#include "recovery/recovery.hpp"
+#include "rt/packet.hpp"
+#include "rt/transport.hpp"
+#include "rt/vm.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using nscc::fault::CrashSemantics;
+using nscc::fault::FaultPlan;
+using nscc::fault::Window;
+using nscc::harness::RunConfig;
+using nscc::harness::RunStats;
+using nscc::recovery::Policy;
+using nscc::rt::MachineConfig;
+using nscc::rt::Packet;
+using nscc::rt::SeqTracker;
+using nscc::rt::Task;
+using nscc::rt::VirtualMachine;
+using nscc::sim::kMillisecond;
+using nscc::sim::kSecond;
+using nscc::sim::Time;
+
+Time seconds(double s) {
+  return static_cast<Time>(s * static_cast<double>(kSecond));
+}
+
+/// A stateful crash of `node` over [at, at+dur) on a 1%-lossy network —
+/// the acceptance scenario from the issue.
+FaultPlan crash_plan(double at_s, double dur_s, int node,
+                     double loss = 0.01) {
+  FaultPlan plan;
+  plan.link.loss_prob = loss;
+  plan.nodes[node].crashes.push_back(
+      Window{seconds(at_s), seconds(at_s + dur_s)});
+  plan.crash_semantics = CrashSemantics::kStateful;
+  return plan;
+}
+
+RunConfig recovery_run(Policy policy, int age, std::uint64_t seed,
+                       double checkpoint_s) {
+  RunConfig run;
+  run.mode = nscc::dsm::Mode::kPartialAsync;
+  run.age = static_cast<nscc::dsm::Iteration>(age);
+  run.seed = seed;
+  run.propagation.coalesce = true;
+  run.recovery.policy = policy;
+  run.recovery.checkpoint_interval = seconds(checkpoint_s);
+  return run;
+}
+
+MachineConfig machine_for(const FaultPlan& plan,
+                          const RunConfig& run) {
+  MachineConfig machine;
+  machine.fault = plan;
+  machine.transport.enabled = !plan.empty() || run.recovery.enabled();
+  return machine;
+}
+
+nscc::harness::GaIslandWorkload small_ga() {
+  nscc::harness::GaIslandWorkload ga;
+  ga.function_id = 1;
+  ga.demes = 4;
+  ga.generations = 40;
+  return ga;
+}
+
+nscc::harness::JacobiWorkload small_jacobi() {
+  nscc::harness::JacobiWorkload jacobi;
+  jacobi.grid = 24;
+  jacobi.processors = 4;
+  jacobi.tolerance = 1e-7;
+  return jacobi;
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance matrix: GA island model
+// ---------------------------------------------------------------------------
+
+TEST(Recovery, GaCrashWithoutRecoveryDeadlocks) {
+  auto ga = small_ga();
+  const RunConfig run = recovery_run(Policy::kNone, 10, 7, 0.1);
+  const FaultPlan plan = crash_plan(0.4, 0.08, 1);
+  const RunStats stats = ga.run(run, machine_for(plan, run));
+  EXPECT_TRUE(stats.deadlocked)
+      << "a mid-run stateful crash with no recovery must wedge the run";
+  // No coordinator is attached under kNone, so recovery counters stay zero
+  // even though the VM tore the task down.
+  EXPECT_EQ(stats.restores, 0u);
+  EXPECT_EQ(stats.rejoins, 0u);
+}
+
+TEST(Recovery, GaDegradedReadsSurviveTheCrash) {
+  auto ga = small_ga();
+  const RunConfig run = recovery_run(Policy::kDegraded, 10, 7, 0.1);
+  const FaultPlan plan = crash_plan(0.4, 0.08, 1);
+  const RunStats stats = ga.run(run, machine_for(plan, run));
+  EXPECT_FALSE(stats.deadlocked);
+  EXPECT_EQ(stats.crashes, 1u);
+  EXPECT_EQ(stats.rejoins, 0u);
+  EXPECT_GT(stats.degraded_reads, 0u)
+      << "survivors must have read past the dead producer";
+}
+
+TEST(Recovery, GaRejoinCompletesWithin15PercentOfCrashFree) {
+  auto ga = small_ga();
+  const RunConfig run = recovery_run(Policy::kRejoin, 10, 7, 0.1);
+  const RunStats base = ga.run(run, machine_for(FaultPlan{}, run));
+  ASSERT_FALSE(base.deadlocked);
+  EXPECT_EQ(base.crashes, 0u);
+
+  const FaultPlan plan = crash_plan(0.4, 0.08, 1);
+  const RunStats crashed = ga.run(run, machine_for(plan, run));
+  ASSERT_FALSE(crashed.deadlocked);
+  EXPECT_EQ(crashed.crashes, 1u);
+  EXPECT_EQ(crashed.restores, 1u);
+  EXPECT_EQ(crashed.rejoins, 1u);
+  EXPECT_GT(crashed.checkpoints_taken, 0u);
+  EXPECT_LE(nscc::sim::to_seconds(crashed.completion_time),
+            1.15 * nscc::sim::to_seconds(base.completion_time))
+      << "rejoin at age 10 must land within 15% of crash-free completion";
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance matrix: Jacobi solver (the quality-loss story is sharpest here:
+// the residual is a direct measure of what degraded mode gave up)
+// ---------------------------------------------------------------------------
+
+TEST(Recovery, JacobiCrashWithoutRecoveryDeadlocks) {
+  auto jacobi = small_jacobi();
+  const RunConfig run = recovery_run(Policy::kNone, 10, 5, 0.1);
+  const FaultPlan plan = crash_plan(1.0, 0.1, 1);
+  const RunStats stats = jacobi.run(run, machine_for(plan, run));
+  EXPECT_TRUE(stats.deadlocked);
+}
+
+TEST(Recovery, JacobiDegradedCompletesWithQualityLoss) {
+  auto jacobi = small_jacobi();
+  const RunConfig run = recovery_run(Policy::kDegraded, 10, 5, 0.1);
+  const FaultPlan plan = crash_plan(1.0, 0.1, 1);
+  const RunStats stats = jacobi.run(run, machine_for(plan, run));
+  ASSERT_FALSE(stats.deadlocked);
+  EXPECT_EQ(stats.crashes, 1u);
+  EXPECT_GT(stats.degraded_reads, 0u);
+  // The dead block never converges, so the final residual is orders of
+  // magnitude above tolerance: the run completes but pays in quality.
+  EXPECT_GT(stats.quality, 1e-3);
+}
+
+TEST(Recovery, JacobiRejoinRecoversBothTimeAndQuality) {
+  auto jacobi = small_jacobi();
+  const RunConfig run = recovery_run(Policy::kRejoin, 10, 5, 0.1);
+  const RunStats base = jacobi.run(run, machine_for(FaultPlan{}, run));
+  ASSERT_FALSE(base.deadlocked);
+
+  const FaultPlan plan = crash_plan(1.0, 0.1, 1);
+  const RunStats crashed = jacobi.run(run, machine_for(plan, run));
+  ASSERT_FALSE(crashed.deadlocked);
+  EXPECT_EQ(crashed.crashes, 1u);
+  EXPECT_EQ(crashed.restores, 1u);
+  EXPECT_EQ(crashed.rejoins, 1u);
+  EXPECT_LE(nscc::sim::to_seconds(crashed.completion_time),
+            1.15 * nscc::sim::to_seconds(base.completion_time));
+  // Unlike degraded mode, the rejoined node finishes its block: the
+  // residual comes back down to the crash-free ballpark.
+  EXPECT_LT(crashed.quality, 1e-5);
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance matrix: NN training and Bayes sampling (smoke-level — the
+// detailed numbers live in EXPERIMENTS.md)
+// ---------------------------------------------------------------------------
+
+TEST(Recovery, NnTrainingSurvivesWorkerCrash) {
+  nscc::harness::NnTrainWorkload nn;  // 4 workers, 500 steps.
+  const FaultPlan plan = crash_plan(0.8, 0.1, 2);
+
+  const RunConfig degraded = recovery_run(Policy::kDegraded, 2, 7, 0.2);
+  const RunStats d = nn.run(degraded, machine_for(plan, degraded));
+  EXPECT_FALSE(d.deadlocked);
+  EXPECT_EQ(d.crashes, 1u);
+
+  const RunConfig rejoin = recovery_run(Policy::kRejoin, 2, 7, 0.2);
+  const RunStats r = nn.run(rejoin, machine_for(plan, rejoin));
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_EQ(r.crashes, 1u);
+  EXPECT_EQ(r.rejoins, 1u);
+}
+
+TEST(Recovery, BayesRejoinMatchesCrashFreeQuality) {
+  nscc::harness::BayesSamplingWorkload bayes;  // 2 parts, 6000 iterations.
+  const RunConfig run = recovery_run(Policy::kRejoin, 10, 11, 0.2);
+  // Crash-free baseline on the *same* lossy network: loss alone already
+  // perturbs the chain, so only the crash window may differ.
+  FaultPlan loss_only;
+  loss_only.link.loss_prob = 0.01;
+  const RunStats base = bayes.run(run, machine_for(loss_only, run));
+  ASSERT_FALSE(base.deadlocked);
+
+  const FaultPlan plan = crash_plan(2.0, 0.2, 1);
+  const RunStats crashed = bayes.run(run, machine_for(plan, run));
+  ASSERT_FALSE(crashed.deadlocked);
+  EXPECT_EQ(crashed.crashes, 1u);
+  EXPECT_EQ(crashed.rejoins, 1u);
+  // The restored checkpoint replays the exact sampler state, so the chain
+  // statistic is unchanged by the crash.
+  EXPECT_NEAR(crashed.quality, base.quality, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint cost accounting and determinism
+// ---------------------------------------------------------------------------
+
+TEST(Recovery, CheckpointCostIsChargedInVirtualTime) {
+  MachineConfig config;
+  config.ntasks = 2;
+  config.transport.enabled = true;
+  VirtualMachine vm(config);
+  nscc::recovery::Config cfg;
+  cfg.policy = Policy::kRejoin;
+  cfg.checkpoint_interval = 100 * kMillisecond;
+  nscc::recovery::Coordinator coord(vm, cfg);
+  for (int id = 0; id < 2; ++id) {
+    vm.add_task("worker", [&](Task& task) {
+      nscc::recovery::FnCheckpoint state(
+          [] {
+            Packet p;
+            p.pack_u64(0xC0FFEEu);
+            return p;
+          },
+          [](Packet&) {});
+      for (int i = 1; i <= 10; ++i) {
+        task.compute(50 * kMillisecond);
+        coord.maybe_checkpoint(task, i, state);
+      }
+    });
+  }
+  vm.run();
+  EXPECT_GT(coord.stats().checkpoints_taken, 0u);
+  EXPECT_GT(coord.stats().checkpoint_cost, 0);
+  // The snapshot cost lands on the checkpointing task's own virtual clock:
+  // total compute equals the loop work plus exactly the charged cost.
+  const Time loop_work = 2 * 10 * 50 * kMillisecond;
+  const Time total = vm.task(0).stats().compute_time +
+                     vm.task(1).stats().compute_time;
+  EXPECT_EQ(total, loop_work + coord.stats().checkpoint_cost);
+}
+
+TEST(Recovery, CrashRecoveryRunsAreDeterministic) {
+  const RunConfig run = recovery_run(Policy::kRejoin, 10, 5, 0.1);
+  const FaultPlan plan = crash_plan(1.0, 0.1, 1);
+  auto a_wl = small_jacobi();
+  const RunStats a = a_wl.run(run, machine_for(plan, run));
+  auto b_wl = small_jacobi();
+  const RunStats b = b_wl.run(run, machine_for(plan, run));
+  EXPECT_EQ(a.completion_time, b.completion_time);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.quality, b.quality);
+  EXPECT_EQ(a.checkpoints_taken, b.checkpoints_taken);
+  EXPECT_EQ(a.degraded_reads, b.degraded_reads);
+}
+
+// ---------------------------------------------------------------------------
+// kLossy crash windows (the pre-recovery model) stay untouched by the
+// recovery machinery: no kills, no checkpoints, and the run is reproducible
+// — the golden guarantee that in-code fault plans from earlier experiments
+// keep their exact behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(Recovery, LossyCrashWindowsNeverEngageRecoveryMachinery) {
+  auto ga = small_ga();
+  RunConfig run = recovery_run(Policy::kNone, 10, 7, 0.0);
+  FaultPlan plan;
+  plan.link.loss_prob = 0.01;
+  plan.nodes[1].crashes.push_back(Window{seconds(0.4), seconds(0.48)});
+  ASSERT_EQ(plan.crash_semantics, CrashSemantics::kLossy)
+      << "in-code plans must default to the lossy (PR 3) semantics";
+
+  const RunStats a = ga.run(run, machine_for(plan, run));
+  EXPECT_FALSE(a.deadlocked);
+  EXPECT_EQ(a.crashes, 0u);
+  EXPECT_EQ(a.checkpoints_taken, 0u);
+  EXPECT_EQ(a.restores, 0u);
+  EXPECT_EQ(a.degraded_reads, 0u);
+
+  auto ga2 = small_ga();
+  const RunStats b = ga2.run(run, machine_for(plan, run));
+  EXPECT_EQ(a.completion_time, b.completion_time);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.quality, b.quality);
+}
+
+// ---------------------------------------------------------------------------
+// SwitchFabric: crash + whole-medium outage on the SP2 switch
+// ---------------------------------------------------------------------------
+
+TEST(Recovery, SwitchFabricSurvivesCrashDuringOutage) {
+  auto ga = small_ga();
+  const RunConfig run = recovery_run(Policy::kRejoin, 10, 7, 0.1);
+  FaultPlan plan = crash_plan(0.4, 0.08, 1, 0.005);
+  plan.outages.push_back(Window{seconds(0.25), seconds(0.3)});
+  MachineConfig machine = machine_for(plan, run);
+  machine.network = nscc::rt::Network::kSp2Switch;
+  const RunStats stats = ga.run(run, machine);
+  EXPECT_FALSE(stats.deadlocked);
+  EXPECT_EQ(stats.crashes, 1u);
+  EXPECT_EQ(stats.rejoins, 1u);
+  EXPECT_GT(stats.frames_lost, 0u)
+      << "the outage window and crash must both drop frames on the fabric";
+}
+
+// ---------------------------------------------------------------------------
+// VM-level mechanics: kill/respawn epochs and crash semantics
+// ---------------------------------------------------------------------------
+
+TEST(Recovery, KillRespawnBumpsEpochAndStampsMessages) {
+  MachineConfig config;
+  config.ntasks = 2;
+  VirtualMachine vm(config);
+  std::vector<std::uint64_t> epochs_seen;
+  vm.add_task("receiver", [&](Task& task) {
+    while (auto msg = task.recv_timeout(1, 2 * kSecond)) {
+      epochs_seen.push_back(msg->epoch);
+    }
+  });
+  vm.add_task("sender", [&](Task& task) {
+    for (int i = 0; i < 8; ++i) {
+      task.compute(50 * kMillisecond);
+      Packet p;
+      p.pack_i32(i);
+      task.send(0, 1, std::move(p));
+    }
+  });
+  vm.add_start_hook([&] {
+    vm.engine().schedule(120 * kMillisecond, [&] { vm.kill_task(1); });
+    vm.engine().schedule(200 * kMillisecond, [&] { vm.respawn_task(1); });
+  });
+  vm.run();
+  ASSERT_FALSE(epochs_seen.empty());
+  EXPECT_EQ(epochs_seen.front(), 0u) << "pre-crash messages carry epoch 0";
+  EXPECT_EQ(epochs_seen.back(), 1u) << "post-respawn messages carry epoch 1";
+  EXPECT_EQ(vm.task(1).epoch(), 1u);
+}
+
+TEST(Recovery, LossyCrashKeepsComputingStatefulCrashTearsDown) {
+  for (const auto semantics :
+       {CrashSemantics::kLossy, CrashSemantics::kStateful}) {
+    MachineConfig config;
+    config.ntasks = 2;
+    config.fault.nodes[1].crashes.push_back(
+        Window{seconds(0.5), seconds(1.0)});
+    config.fault.crash_semantics = semantics;
+    VirtualMachine vm(config);
+    int completed = 0;
+    for (int id = 0; id < 2; ++id) {
+      vm.add_task("worker", [&](Task& task) {
+        for (int i = 0; i < 20; ++i) task.compute(100 * kMillisecond);
+        ++completed;
+      });
+    }
+    vm.run();
+    if (semantics == CrashSemantics::kLossy) {
+      EXPECT_EQ(completed, 2) << "a lossy window only drops frames";
+      EXPECT_EQ(vm.task(1).epoch(), 0u);
+    } else {
+      EXPECT_EQ(completed, 1)
+          << "a stateful window unwinds the victim's fiber";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SeqTracker memory bound (satellite S1): flat memory across 10k messages
+// with permanently-lost sequence numbers punching holes in the stream
+// ---------------------------------------------------------------------------
+
+TEST(SeqTracker, MemoryStaysFlatAcrossTenThousandMessages) {
+  SeqTracker tracker;
+  std::size_t peak = 0;
+  for (std::uint64_t seq = 1; seq <= 10000; ++seq) {
+    if (seq % 97 == 0) continue;  // Abandoned frame: a hole that never fills.
+    EXPECT_TRUE(tracker.fresh(seq));
+    peak = std::max(peak, tracker.pending());
+    ASSERT_LE(tracker.pending(), SeqTracker::kMaxAhead)
+        << "sparse set must stay bounded at seq " << seq;
+  }
+  EXPECT_GT(peak, 0u);
+  EXPECT_GT(tracker.floor(), 9000u)
+      << "the contiguous floor must advance past forgotten holes";
+  // Recently-seen sequence numbers still deduplicate.
+  EXPECT_FALSE(tracker.fresh(10000));
+  EXPECT_FALSE(tracker.fresh(9999));
+}
+
+TEST(SeqTracker, OutOfOrderWindowDeduplicatesExactly) {
+  SeqTracker tracker;
+  // Deliver a shuffled window, then replay all of it.
+  const std::vector<std::uint64_t> window = {3, 1, 5, 2, 8, 4, 7, 6};
+  for (const auto seq : window) EXPECT_TRUE(tracker.fresh(seq));
+  for (const auto seq : window) EXPECT_FALSE(tracker.fresh(seq));
+  EXPECT_EQ(tracker.floor(), 8u);
+  EXPECT_EQ(tracker.pending(), 0u);
+}
+
+}  // namespace
