@@ -21,6 +21,11 @@
 // `rejoin` restores the last checkpoint and catches up — the table and
 // JSON report the recovery work (checkpoints, restores, rejoins,
 // degraded reads, iterations rolled back).
+//
+// A third sweep replaces clean losses with payload corruption
+// (corruption-rate x age): frame CRCs must turn every damaged frame into
+// an ordinary loss, so each cell should match the loss table's shape and
+// the DSM quarantine counter should stay at zero.
 #include <algorithm>
 #include <iostream>
 #include <utility>
@@ -44,13 +49,15 @@ struct Cell {
   bool deadlocked = false;
   nscc::recovery::Stats recovery;
   std::uint64_t degraded_reads = 0;
+  std::uint64_t integrity_dropped = 0;
+  std::uint64_t sanitize_violations = 0;
 };
 
 Cell run(double loss, long age, int demes, int generations,
          std::uint64_t seed, std::uint64_t fault_seed,
          nscc::sim::Time read_timeout,
          nscc::recovery::Policy policy = nscc::recovery::Policy::kNone,
-         const nscc::fault::Window* crash = nullptr) {
+         const nscc::fault::Window* crash = nullptr, double corrupt = 0.0) {
   nscc::ga::IslandConfig cfg;
   cfg.function_id = 1;
   cfg.mode = age == 0 ? nscc::dsm::Mode::kSynchronous
@@ -63,10 +70,15 @@ Cell run(double loss, long age, int demes, int generations,
   if (age > 0) cfg.propagation.read_timeout = read_timeout;
   cfg.recovery.policy = policy;
   cfg.recovery.checkpoint_interval = 100 * nscc::sim::kMillisecond;
+  // Corrupted sweeps exercise the whole integrity layer: transport frame
+  // CRCs drop damaged frames as loss, and the DSM update checksum
+  // quarantines anything that slips past.
+  cfg.propagation.integrity = corrupt > 0.0;
 
   nscc::fault::FaultPlan plan;
   plan.seed = fault_seed;
   plan.link.loss_prob = loss;
+  plan.link.corrupt_prob = corrupt;
   if (crash != nullptr) {
     plan.nodes[1].crashes.push_back(*crash);
     plan.crash_semantics = nscc::fault::CrashSemantics::kStateful;
@@ -84,6 +96,8 @@ Cell run(double loss, long age, int demes, int generations,
   cell.deadlocked = r.deadlocked;
   cell.recovery = r.recovery;
   cell.degraded_reads = r.degraded_reads;
+  cell.integrity_dropped = r.integrity_dropped;
+  cell.sanitize_violations = r.sanitize_violations;
   return cell;
 }
 
@@ -233,5 +247,57 @@ int main(int argc, char** argv) {
   std::cout << '\n';
   rtable.print(std::cout);
   if (flags.get_bool("csv")) std::cout << '\n' << rtable.to_csv();
+
+  // Corruption sweep: damaged payloads instead of clean losses.  Frame
+  // CRCs turn corruption into loss, so the expected shape matches the loss
+  // table — the sync column pays retransmission round-trips while the
+  // bounded-staleness columns absorb the drops — and the quarantine
+  // counter stays at zero (nothing damaged reaches the DSM).
+  const std::vector<double> corrupts = {0.001, 0.01, 0.05};
+  nscc::util::Table ctable(
+      "Extension E3 - completion time vs payload corruption");
+  ctable.columns({"corrupt", "variant", "completion s", "vs fault-free",
+                  "retx", "escalations", "quarantined"});
+  for (double corrupt : corrupts) {
+    for (std::size_t i = 0; i < ages.size(); ++i) {
+      const long age = ages[i];
+      const Cell cell = run(0.0, age, demes, generations, seed, fault_seed,
+                            read_timeout, nscc::recovery::Policy::kNone,
+                            nullptr, corrupt);
+      const std::string label =
+          age == 0 ? "sync" : "age" + std::to_string(age);
+      ctable.row()
+          .cell(nscc::util::format_double(corrupt * 100.0, 1) + " %")
+          .cell(label + (cell.deadlocked ? " (DEADLOCK)" : ""))
+          .cell(cell.completion_s, 2)
+          .cell(cell.completion_s / base[i].completion_s, 3)
+          .cell(cell.retransmissions)
+          .cell(cell.escalations)
+          .cell(cell.integrity_dropped);
+      nscc::harness::SweepRecord rec;
+      rec.workload = "ga.island";
+      rec.variant = age == 0 ? "sync" : "partial";
+      rec.age = age;
+      rec.seed = seed;
+      rec.repeat = 0;
+      rec.params = {{"corrupt", corrupt},
+                    {"demes", static_cast<double>(demes)},
+                    {"generations", static_cast<double>(generations)}};
+      rec.stats = {{"completion_s", cell.completion_s},
+                   {"vs_fault_free", cell.completion_s / base[i].completion_s},
+                   {"retransmissions",
+                    static_cast<double>(cell.retransmissions)},
+                   {"read_escalations", static_cast<double>(cell.escalations)},
+                   {"integrity_dropped",
+                    static_cast<double>(cell.integrity_dropped)},
+                   {"sanitize_violations",
+                    static_cast<double>(cell.sanitize_violations)},
+                   {"deadlocked", cell.deadlocked ? 1.0 : 0.0}};
+      sweep.add(std::move(rec));
+    }
+  }
+  std::cout << '\n';
+  ctable.print(std::cout);
+  if (flags.get_bool("csv")) std::cout << '\n' << ctable.to_csv();
   return sweep.write() ? 0 : 1;
 }

@@ -44,12 +44,6 @@ std::vector<int> node_phases(const BeliefNetwork& net, const Partition& part) {
   return phase;
 }
 
-constexpr int kMaxPhases = 16;
-
-dsm::LocationId block_loc(int p, int phase) {
-  return 500 + p * kMaxPhases + phase;
-}
-
 struct TaskOutcome {
   std::vector<QueryEstimate> estimates;
   sim::Time first_met_time = -1;
@@ -173,7 +167,8 @@ ParallelInferenceResult run_parallel_logic_sampling(
       };
 
       dsm::PropagationPolicy prop{
-          .read_timeout = config.propagation.read_timeout};
+          .read_timeout = config.propagation.read_timeout,
+          .integrity = config.propagation.integrity};
       if (rc != nullptr) {
         prop.writer_alive = [rcp = rc](int node) { return rcp->alive(node); };
         if (prop.read_timeout <= 0) prop.read_timeout = 50 * sim::kMillisecond;
@@ -766,6 +761,7 @@ ParallelInferenceResult run_parallel_logic_sampling(
     result.global_read_block_time += out.dsm.global_read_block_time;
     result.read_escalations += out.dsm.read_escalations;
     result.degraded_reads += out.dsm.degraded_reads;
+    result.integrity_dropped += out.dsm.integrity_dropped;
     result.messages_sent += vm.task(p).stats().messages_sent;
     result.bytes_sent += vm.task(p).stats().bytes_sent;
     for (const QueryEstimate& est : out.estimates) {
@@ -785,6 +781,9 @@ ParallelInferenceResult run_parallel_logic_sampling(
   result.estimates = std::move(ordered);
   result.completion_time = result.converged ? completion : full_time;
   if (coord != nullptr) result.recovery = coord->stats();
+  if (vm.sanitizer() != nullptr) {
+    result.sanitize_violations = vm.sanitizer()->stats().total_violations();
+  }
   return result;
 }
 

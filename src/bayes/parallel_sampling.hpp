@@ -40,6 +40,14 @@
 
 namespace nscc::bayes {
 
+/// Interface-block location scheme: task p's phase-`phase` block.  Public
+/// so the harness tolerance contract audits the same locations the sampler
+/// shares; kMaxPhases bounds the guard phases per task.
+inline constexpr int kMaxPhases = 16;
+[[nodiscard]] inline dsm::LocationId block_loc(int p, int phase) noexcept {
+  return 500 + p * kMaxPhases + phase;
+}
+
 /// Mode, age, seed, and the propagation policy live in the embedded
 /// harness::RunConfig.  The sampler honours only the policy's read_timeout
 /// (the Global_Read starvation watchdog); interface blocks are never
@@ -98,6 +106,11 @@ struct ParallelInferenceResult {
   /// Crash-recovery diagnostics (zero unless config.recovery was enabled).
   recovery::Stats recovery;
   std::uint64_t degraded_reads = 0;
+  /// Damaged DSM frames quarantined (integrity checking enabled only).
+  std::uint64_t integrity_dropped = 0;
+  /// Tolerance-contract violations flagged by the staleness sanitizer
+  /// (zero when the machine runs with --sanitize=off).
+  std::uint64_t sanitize_violations = 0;
 };
 
 ParallelInferenceResult run_parallel_logic_sampling(

@@ -27,9 +27,15 @@ SharedSpace::SharedSpace(rt::Task& task, PropagationPolicy policy)
                          static_cast<std::uint64_t>(task.id() + 1)));
   }
   obs::Hub& hub = task.vm().obs();
+  // The registry exists whether or not the hub is actively tracing; the
+  // staleness histograms are the canonical accounting (DsmStats reads the
+  // per-task one), so they are resolved unconditionally.
+  staleness_hist_ = &hub.registry().histogram("dsm.staleness");
+  staleness_mine_ = &hub.registry().histogram("dsm.staleness", task.id());
+  stats_.staleness_on_read = staleness_mine_;
+  san_ = task.vm().sanitizer();
   if (hub.active()) {
     obs_ = &hub;
-    staleness_hist_ = &hub.registry().histogram("dsm.staleness");
     blocked_readers_ = &hub.registry().gauge("dsm.blocked_readers");
     inflight_updates_ = &hub.registry().gauge("dsm.updates_inflight");
   }
@@ -62,6 +68,7 @@ SharedSpace::~SharedSpace() {
   reg.counter("dsm.request_replies", pid).inc(stats_.request_replies);
   reg.counter("dsm.read_escalations", pid).inc(stats_.read_escalations);
   reg.counter("dsm.degraded_reads", pid).inc(stats_.degraded_reads);
+  reg.counter("dsm.integrity_dropped", pid).inc(stats_.integrity_dropped);
 }
 
 void SharedSpace::declare_written(LocationId loc, std::vector<int> readers) {
@@ -90,6 +97,7 @@ void SharedSpace::send_update(LocationId loc, int reader, Iteration iteration,
   payload.pack_i32(loc);
   payload.pack_i64(iteration);
   payload.pack_packet(value);
+  if (policy_.integrity) payload.pack_u32(value.crc32());
 
   if (obs_ != nullptr) {
     obs_->tracer().instant(task_.id(), "dsm.update.send", task_.now(), "loc",
@@ -174,6 +182,10 @@ void SharedSpace::write(LocationId loc, Iteration iteration, rt::Packet value) {
   mine.iteration = iteration;
   mine.valid = true;
   mine.data = value;
+  if (san_ != nullptr) {
+    san_->record_write(task_.id(), loc, iteration, mine.data.crc32(),
+                       mine.data.byte_size(), task_.now());
+  }
 
   for (int reader : it->second.readers) {
     if (reader == task_.id()) continue;  // The local store is the update.
@@ -197,9 +209,36 @@ void SharedSpace::write(LocationId loc, Iteration iteration, rt::Packet value) {
 }
 
 void SharedSpace::apply_update(rt::Packet& payload) {
-  const LocationId loc = payload.unpack_i32();
-  const Iteration iteration = payload.unpack_i64();
-  rt::Packet data = payload.unpack_packet();
+  // Parse defensively: with the transport's frame check disabled (or
+  // corruption the CRC missed), the bytes on the mailbox can be garbage.
+  // A frame that cannot be decoded, or whose payload checksum disagrees
+  // with the writer's stamp, is quarantined — never applied, never shown
+  // to the observer — and, when we actually read the location, a reliable
+  // demand re-fetches a clean copy from the writer.
+  LocationId loc = 0;
+  Iteration iteration = 0;
+  rt::Packet data;
+  bool parsed = false;
+  bool intact = true;
+  try {
+    loc = payload.unpack_i32();
+    iteration = payload.unpack_i64();
+    data = payload.unpack_packet();
+    if (policy_.integrity) {
+      intact = payload.unpack_u32() == data.crc32();
+    }
+    parsed = true;
+  } catch (const std::out_of_range&) {
+  }
+  if (!parsed || !intact) {
+    ++stats_.integrity_dropped;
+    if (obs_ != nullptr) {
+      obs_->tracer().instant(task_.id(), "dsm.update.quarantine", task_.now(),
+                             "loc", loc, "iter", iteration);
+    }
+    if (parsed && read_from_.count(loc) != 0) send_demand(loc, iteration);
+    return;
+  }
 
   auto it = local_.find(loc);
   if (it == local_.end() || read_from_.count(loc) == 0) {
@@ -233,8 +272,17 @@ void SharedSpace::apply_update(rt::Packet& payload) {
 }
 
 void SharedSpace::serve_request(rt::Packet& payload, int from) {
-  const LocationId loc = payload.unpack_i32();
-  const Iteration need = payload.unpack_i64();
+  LocationId loc = 0;
+  Iteration need = 0;
+  try {
+    loc = payload.unpack_i32();
+    need = payload.unpack_i64();
+  } catch (const std::out_of_range&) {
+    // A demand that cannot be decoded is dropped; the starved reader's
+    // escalation watchdog re-demands on its own timer.
+    ++stats_.integrity_dropped;
+    return;
+  }
   ++stats_.hints_received;
   if (obs_ != nullptr) {
     obs_->tracer().instant(task_.id(), "dsm.request.serve", task_.now(),
@@ -290,8 +338,17 @@ const SharedSpace::Value& SharedSpace::read(LocationId loc) {
   if (it == local_.end()) {
     throw std::logic_error("SharedSpace: read of an undeclared location");
   }
-  it->second.data.rewind();
-  return it->second;
+  Value& v = it->second;
+  if (san_ != nullptr) {
+    // Plain reads declare no age bound (-1): the audit checks the location's
+    // tolerance contract (an age-0-intolerant location read this way is a
+    // violation) and the shadow checksum, but no staleness arithmetic.
+    san_->audit_read(task_.id(), loc, v.iteration, /*declared_age=*/-1,
+                     v.valid, v.degraded, v.iteration,
+                     v.valid ? v.data.crc32() : 0, task_.now());
+  }
+  v.data.rewind();
+  return v;
 }
 
 const SharedSpace::Value& SharedSpace::global_read(LocationId loc,
@@ -379,9 +436,12 @@ const SharedSpace::Value& SharedSpace::global_read(LocationId loc,
     }
   }
   if (v.valid && v.iteration >= need) v.degraded = false;
-  stats_.staleness_on_read.add(static_cast<double>(curr_iter - v.iteration));
-  if (staleness_hist_ != nullptr) {
-    staleness_hist_->observe(static_cast<double>(curr_iter - v.iteration));
+  const auto staleness = static_cast<double>(curr_iter - v.iteration);
+  staleness_mine_->observe(staleness);
+  staleness_hist_->observe(staleness);
+  if (san_ != nullptr) {
+    san_->audit_read(task_.id(), loc, curr_iter, age, v.valid, v.degraded,
+                     v.iteration, v.valid ? v.data.crc32() : 0, task_.now());
   }
   v.data.rewind();
   return v;

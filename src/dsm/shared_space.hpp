@@ -33,9 +33,9 @@
 #include "obs/obs.hpp"
 #include "rt/packet.hpp"
 #include "rt/vm.hpp"
+#include "sanitize/sanitize.hpp"
 #include "sim/time.hpp"
 #include "util/rng.hpp"
-#include "util/stats.hpp"
 
 namespace nscc::dsm {
 
@@ -99,6 +99,15 @@ struct PropagationPolicy {
   std::function<bool(int)> writer_alive;
   /// How often a blocked read re-checks writer_alive.
   sim::Time liveness_poll = 10 * sim::kMillisecond;
+  /// End-to-end data integrity: stamp every propagated update with a CRC32
+  /// of its payload and verify it at apply time.  A mismatch (damage the
+  /// transport's frame check missed, or a frame check disabled for testing)
+  /// quarantines the update — it is dropped unapplied, counted in
+  /// DsmStats::integrity_dropped, and if this task reads the location a
+  /// reliable demand re-fetches a clean copy from the writer.  Off by
+  /// default: the checksum changes the update wire format (4 bytes), so
+  /// corruption-free baselines stay byte-identical.
+  bool integrity = false;
 };
 
 struct DsmStats {
@@ -115,7 +124,14 @@ struct DsmStats {
   std::uint64_t request_replies = 0;    ///< Writer side: demand-driven resends.
   std::uint64_t read_escalations = 0;   ///< Watchdog-triggered demands.
   std::uint64_t degraded_reads = 0;     ///< Reads unblocked by a dead writer.
-  util::RunningStats staleness_on_read;  ///< curr_iter - value iteration.
+  std::uint64_t integrity_dropped = 0;  ///< Damaged/garbled frames quarantined.
+  /// Staleness (curr_iter - value iteration) of every global_read, as this
+  /// task's "dsm.staleness" histogram in the machine's metrics registry.
+  /// The registry is the single source of truth — the machine-wide
+  /// "dsm.staleness" histogram receives the same observations, so the two
+  /// views can never disagree.  Valid for the owning VirtualMachine's
+  /// lifetime; never null after SharedSpace construction.
+  const obs::Histogram* staleness_on_read = nullptr;
 };
 
 /// Per-task view of the shared space.  All tasks must make matching
@@ -215,9 +231,16 @@ class SharedSpace {
   /// Observability handles, resolved once at construction; null when the
   /// machine's hub is inactive so every hot-path guard is one branch.
   obs::Hub* obs_ = nullptr;
-  obs::Histogram* staleness_hist_ = nullptr;  ///< Machine-wide staleness.
   obs::Gauge* blocked_readers_ = nullptr;
   obs::Gauge* inflight_updates_ = nullptr;
+  /// Staleness histograms live in the registry unconditionally (the hub's
+  /// registry always exists; only tracing is gated on activity) — they ARE
+  /// the DsmStats accounting, not a parallel copy of it.
+  obs::Histogram* staleness_hist_ = nullptr;  ///< Machine-wide staleness.
+  obs::Histogram* staleness_mine_ = nullptr;  ///< This task's staleness.
+  /// Staleness sanitizer owned by the VirtualMachine; null when
+  /// --sanitize=off.  Fed every write (shadow log) and every read (audit).
+  sanitize::Sanitizer* san_ = nullptr;
   /// Liveness token: deferred-delivery callbacks hold a weak_ptr so they
   /// become no-ops once this SharedSpace is destroyed (e.g. its task body
   /// returned while updates were still on the wire).

@@ -56,8 +56,10 @@ FaultInjector::Verdict FaultInjector::judge(int src, int dst, sim::Time now,
 
   const LinkFaults& link = link_for(src, dst);
   if (link.any()) {
-    // Fixed draw order (loss, dup, delay) keeps the stream aligned across
-    // links with different fault subsets enabled.
+    // Fixed draw order (loss, dup, delay, corruption) keeps the stream
+    // aligned across links with different fault subsets enabled; each draw
+    // is guarded on its probability so a disabled fault class consumes no
+    // randomness and old plans stay byte-identical.
     const bool lost = link.loss_prob > 0.0 && rng_.bernoulli(link.loss_prob);
     const bool dup = link.dup_prob > 0.0 && rng_.bernoulli(link.dup_prob);
     const bool late = link.delay_prob > 0.0 && link.delay_max > 0 &&
@@ -68,6 +70,8 @@ FaultInjector::Verdict FaultInjector::judge(int src, int dst, sim::Time now,
                        static_cast<std::uint64_t>(std::max<sim::Time>(
                            1, link.delay_max))));
     }
+    const bool corrupt =
+        link.corrupt_prob > 0.0 && rng_.bernoulli(link.corrupt_prob);
     if (lost) {
       v.drop = true;
       ++stats_.frames_lost;
@@ -82,6 +86,24 @@ FaultInjector::Verdict FaultInjector::judge(int src, int dst, sim::Time now,
       v.duplicate_delay = jitter;
       ++stats_.frames_duplicated;
     }
+    if (corrupt) {
+      const std::uint64_t seed = rng_();
+      v.corrupt_seed = seed != 0 ? seed : 1;
+      ++stats_.frames_corrupted;
+    }
+  }
+
+  // Scheduled corruption, like outages, consumes no randomness: the damage
+  // seed is a pure function of the frame's position in the schedule, so a
+  // corrupt-window run stays stream-aligned with the same schedule run as
+  // an outage.
+  if (!v.drop && v.corrupt_seed == 0 &&
+      in_any(plan_.corrupt_windows, now)) {
+    const std::uint64_t seed =
+        (static_cast<std::uint64_t>(now) * 0x9E3779B97F4A7C15ULL) ^
+        stats_.frames_judged;
+    v.corrupt_seed = seed != 0 ? seed : 1;
+    ++stats_.frames_corrupted;
   }
 
   // Receiver-side scheduled effects act on the (jittered) arrival time.
@@ -102,10 +124,35 @@ FaultInjector::Verdict FaultInjector::judge(int src, int dst, sim::Time now,
   return v;
 }
 
+CorruptionEffect corruption_effect(std::uint64_t seed,
+                                   std::size_t payload_bytes) {
+  CorruptionEffect effect;
+  if (seed == 0 || payload_bytes == 0) return effect;
+  util::Xoshiro256 rng(seed);
+  // One in four corrupted frames is cut short; the rest take 1-3 bit flips
+  // (single-event upsets and short bursts — the damage real CRCs exist to
+  // catch).  A truncation always removes at least the last byte so the
+  // damage is never a no-op.
+  if (rng.below(4) == 0) {
+    effect.truncate_to = static_cast<std::size_t>(rng.below(payload_bytes));
+    return effect;
+  }
+  const std::uint64_t nflips = 1 + rng.below(3);
+  for (std::uint64_t i = 0; i < nflips; ++i) {
+    effect.bit_flips.push_back(
+        static_cast<std::size_t>(rng.below(payload_bytes * 8)));
+  }
+  return effect;
+}
+
 void add_flags(util::Flags& flags) {
   flags
       .add_double("loss-rate", 0.0,
                   "per-frame loss probability injected on every link")
+      .add_double("corrupt-rate", 0.0,
+                  "per-frame payload-corruption probability injected on "
+                  "every link (bit flips / truncation; CRC-checked frames "
+                  "are dropped as loss)")
       .add_int("fault-seed", 0xFA17,
                "seed for the fault injector's RNG stream")
       .add_double("read-timeout-ms", 0.0,
@@ -123,6 +170,7 @@ FaultPlan plan_from_flags(const util::Flags& flags) {
   FaultPlan plan;
   plan.seed = static_cast<std::uint64_t>(flags.get_int("fault-seed"));
   plan.link.loss_prob = flags.get_double("loss-rate");
+  plan.link.corrupt_prob = flags.get_double("corrupt-rate");
   const double crash_at = flags.get_double("crash-at");
   if (crash_at > 0.0) {
     const auto start = static_cast<sim::Time>(crash_at * sim::kSecond);

@@ -13,6 +13,10 @@
 // Semantics (documented here once, relied on by net:: and tests):
 //   * loss        — the frame occupies the medium (it was transmitted) but
 //                   is never delivered, like a collision or CRC kill;
+//   * corruption  — the frame is delivered but its payload is damaged
+//                   (seeded bit flips or truncation); whether the receiver
+//                   notices is the transport's business (rt:: CRC-checks
+//                   frames and drops damaged ones as loss);
 //   * duplication — the receiver sees the frame twice, the copy arriving
 //                   after an extra jitter delay (link-level retransmit of a
 //                   frame whose first copy actually made it);
@@ -27,6 +31,7 @@
 //                   while the window is open (a CPU-starved receiver).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <utility>
@@ -56,9 +61,10 @@ struct LinkFaults {
   double dup_prob = 0.0;        ///< Frame delivered twice.
   double delay_prob = 0.0;      ///< Frame gets extra delay (jitter).
   sim::Time delay_max = 0;      ///< Extra delay uniform in (0, delay_max].
+  double corrupt_prob = 0.0;    ///< Frame delivered with damaged payload.
   [[nodiscard]] bool any() const noexcept {
     return loss_prob > 0.0 || dup_prob > 0.0 ||
-           (delay_prob > 0.0 && delay_max > 0);
+           (delay_prob > 0.0 && delay_max > 0) || corrupt_prob > 0.0;
   }
 };
 
@@ -90,13 +96,21 @@ struct FaultPlan {
   /// source.  An entry fully replaces `link` for that pair.
   std::map<std::pair<int, int>, LinkFaults> per_link;
   std::vector<Window> outages;        ///< Whole-medium burst losses.
+  /// Whole-medium payload-corruption windows: every frame handed to the
+  /// wire while one is open is delivered damaged.  Like outages these are
+  /// scheduled faults — deterministic, consuming no randomness — so a
+  /// corrupted-frame run can be compared byte-for-byte against the same
+  /// schedule expressed as an outage (corruption caught by a frame CRC
+  /// must behave exactly as loss).
+  std::vector<Window> corrupt_windows;
   std::map<int, NodeFaults> nodes;    ///< Keyed by node/task id.
   /// How crash windows treat the victim's process state.  kLossy keeps the
   /// pre-recovery behaviour byte-identical; kStateful destroys the fiber.
   CrashSemantics crash_semantics = CrashSemantics::kLossy;
 
   [[nodiscard]] bool empty() const noexcept {
-    return !link.any() && per_link.empty() && outages.empty() && nodes.empty();
+    return !link.any() && per_link.empty() && outages.empty() &&
+           corrupt_windows.empty() && nodes.empty();
   }
 };
 
@@ -107,6 +121,7 @@ struct FaultStats {
   std::uint64_t crash_drops = 0;       ///< Subset of frames_lost.
   std::uint64_t frames_duplicated = 0;
   std::uint64_t frames_delayed = 0;    ///< Jitter, pause holds, and slowdowns.
+  std::uint64_t frames_corrupted = 0;  ///< Delivered with damaged payload.
 };
 
 /// Judges every frame a network model is about to deliver.  Stateless apart
@@ -129,6 +144,11 @@ class FaultInjector {
     sim::Time extra_delay = 0;      ///< Added to the nominal arrival.
     sim::Time duplicate_delay = 0;  ///< Copy arrives this much after the
                                     ///< (possibly delayed) original.
+    /// Nonzero = deliver the frame with its payload damaged; the seed
+    /// determines the damage via corruption_effect().  Only the original
+    /// copy is damaged — a duplicate models a link-level retransmit whose
+    /// second copy arrived intact.
+    std::uint64_t corrupt_seed = 0;
   };
   Verdict judge(int src, int dst, sim::Time now, sim::Time delivered_at);
 
@@ -143,9 +163,22 @@ class FaultInjector {
   FaultStats stats_;
 };
 
-/// Register the standard fault flags (--loss-rate, --fault-seed,
-/// --read-timeout-ms) on a driver's flag set; like every util::Flags entry
-/// they honour the NSCC_* environment overrides.
+/// Deterministic damage derived from a Verdict's corrupt_seed: either the
+/// frame is cut short or a handful of payload bits flip.  A pure function
+/// of (seed, payload size), so the receiver can apply it without the
+/// injector's RNG stream being involved.
+struct CorruptionEffect {
+  /// Truncate the payload to this many bytes first; SIZE_MAX = no cut.
+  std::size_t truncate_to = static_cast<std::size_t>(-1);
+  /// Bit indices to flip (into the possibly-truncated payload).
+  std::vector<std::size_t> bit_flips;
+};
+[[nodiscard]] CorruptionEffect corruption_effect(std::uint64_t seed,
+                                                 std::size_t payload_bytes);
+
+/// Register the standard fault flags (--loss-rate, --corrupt-rate,
+/// --fault-seed, --read-timeout-ms) on a driver's flag set; like every
+/// util::Flags entry they honour the NSCC_* environment overrides.
 void add_flags(util::Flags& flags);
 
 /// Build a plan from flags registered by add_flags(): a uniform per-frame

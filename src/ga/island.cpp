@@ -15,9 +15,6 @@ namespace nscc::ga {
 
 namespace {
 
-/// Shared-location id for deme d's migrant buffer.
-dsm::LocationId migrant_loc(int deme) { return 100 + deme; }
-
 /// Everything a deme needs to continue from generation `gen` after a
 /// crash-restart: its evolved population, the best-so-far tracker, and the
 /// per-source frontier of migrants already incorporated.
@@ -291,7 +288,6 @@ IslandResult run_island_ga(const IslandConfig& config,
 
   // Merge per-deme best-so-far points into a global prefix-min trajectory.
   std::vector<std::pair<sim::Time, double>> merged;
-  util::RunningStats staleness;
   for (int d = 0; d < config.ndemes; ++d) {
     const DemeOutcome& out = outcomes[static_cast<std::size_t>(d)];
     merged.insert(merged.end(), out.best_points.begin(), out.best_points.end());
@@ -299,19 +295,27 @@ IslandResult run_island_ga(const IslandConfig& config,
     result.cache_hits += out.cache_hits;
     result.global_read_blocks += out.dsm.global_read_blocks;
     result.global_read_block_time += out.dsm.global_read_block_time;
-    staleness.merge(out.dsm.staleness_on_read);
     result.messages_sent += vm.task(d).stats().messages_sent;
     result.bytes_sent += vm.task(d).stats().bytes_sent;
     result.mean_final_age += static_cast<double>(out.final_age) /
                              static_cast<double>(config.ndemes);
     result.age_adjustments += out.age_adjustments;
   }
-  result.mean_staleness = staleness.mean();
+  // The machine-wide staleness histogram already merges every deme's
+  // per-task histogram at the source (single registry), so its mean IS the
+  // run mean — no second accounting to reconcile.
+  result.mean_staleness =
+      vm.obs().registry().histogram("dsm.staleness").mean();
   for (int d = 0; d < config.ndemes; ++d) {
     result.read_escalations +=
         outcomes[static_cast<std::size_t>(d)].dsm.read_escalations;
     result.degraded_reads +=
         outcomes[static_cast<std::size_t>(d)].dsm.degraded_reads;
+    result.integrity_dropped +=
+        outcomes[static_cast<std::size_t>(d)].dsm.integrity_dropped;
+  }
+  if (vm.sanitizer() != nullptr) {
+    result.sanitize_violations = vm.sanitizer()->stats().total_violations();
   }
   if (coord != nullptr) result.recovery = coord->stats();
   result.retransmissions = vm.transport_stats().retransmissions;

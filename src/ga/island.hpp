@@ -44,6 +44,12 @@ struct IslandConfig : harness::RunConfig {
   bool use_fitness_cache = true;
 };
 
+/// Shared-location id for deme d's migrant buffer.  Public so the harness
+/// tolerance contract audits the same locations the demes actually share.
+[[nodiscard]] inline dsm::LocationId migrant_loc(int deme) noexcept {
+  return 100 + deme;
+}
+
 struct IslandResult {
   sim::Time completion_time = 0;  ///< All demes finished their generations.
   double best_fitness = 0.0;      ///< Global best at the end.
@@ -75,6 +81,11 @@ struct IslandResult {
   /// Crash-recovery diagnostics (zero unless config.recovery was enabled).
   recovery::Stats recovery;
   std::uint64_t degraded_reads = 0;  ///< Reads served stale past a dead peer.
+  /// Damaged DSM frames quarantined (integrity checking enabled only).
+  std::uint64_t integrity_dropped = 0;
+  /// Tolerance-contract violations flagged by the staleness sanitizer
+  /// (zero when the machine runs with --sanitize=off).
+  std::uint64_t sanitize_violations = 0;
 };
 
 /// Run one island-GA experiment on a fresh simulated machine.  `machine`

@@ -8,6 +8,7 @@
 #include "harness/workload.hpp"
 #include "obs/obs.hpp"
 #include "recovery/recovery.hpp"
+#include "sanitize/sanitize.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
@@ -40,7 +41,11 @@ int drive(int argc, char** argv, const DriveOptions& options) {
       .add_enum("recovery", "none", {"none", "degraded", "rejoin"},
                 "crash-recovery policy for stateful (--crash-at) windows")
       .add_double("checkpoint-interval", 0.5,
-                  "virtual seconds between node checkpoints (0 disables)");
+                  "virtual seconds between node checkpoints (0 disables)")
+      .add_enum("sanitize", "off", {"off", "track", "strict"},
+                "staleness sanitizer: audit every DSM read against the "
+                "workload's tolerance contract (strict exits nonzero on any "
+                "violation)");
   obs::add_flags(flags);
   fault::add_flags(flags);
   workload->register_params(flags);
@@ -58,6 +63,8 @@ int drive(int argc, char** argv, const DriveOptions& options) {
                                            : rt::Network::kEthernet;
   const auto variants =
       parse_variants(flags.get_string("variants"), flags.get_int("age"));
+  const sanitize::Level sanitize_level =
+      *sanitize::level_from_name(flags.get_string("sanitize"));
 
   std::vector<Scenario> scenarios =
       options.scenarios ? options.scenarios(flags)
@@ -94,11 +101,16 @@ int drive(int argc, char** argv, const DriveOptions& options) {
       // Sections 1-2); sync and uncontrolled async send directly.
       run.propagation.coalesce = v.mode == dsm::Mode::kPartialAsync;
       run.loader_offered_bps = scenario.loader_offered_bps;
+      // Sanitizing turns on the end-to-end integrity layer too: audited
+      // runs should also checksum what the wire delivered.
+      run.propagation.integrity = sanitize_level != sanitize::Level::kOff;
 
       rt::MachineConfig machine;
       machine.network = network;
       machine.fault = plan;
       machine.transport.enabled = !plan.empty() || run.recovery.enabled();
+      machine.sanitize.level = sanitize_level;
+      machine.sanitize.spec = workload->tolerance_spec(run);
       // Observe only the Global_Read variant of the last scenario so
       // --trace-out / --metrics-out capture exactly one run (the one the
       // paper's mechanism is about).
@@ -126,6 +138,10 @@ int drive(int argc, char** argv, const DriveOptions& options) {
   if (any_recovery) {
     cols.insert(cols.end(),
                 {"crashes", "restores", "rejoins", "degraded reads"});
+  }
+  const bool any_sanitize = sanitize_level != sanitize::Level::kOff;
+  if (any_sanitize) {
+    cols.insert(cols.end(), {"quarantined", "violations"});
   }
   table.columns(cols);
   for (const auto& row : rows) {
@@ -155,6 +171,9 @@ int drive(int argc, char** argv, const DriveOptions& options) {
       table.cell(s.crashes).cell(s.restores).cell(s.rejoins).cell(
           s.degraded_reads);
     }
+    if (any_sanitize) {
+      table.cell(s.integrity_dropped).cell(s.sanitize_violations);
+    }
   }
   table.print(std::cout);
   if (!options.epilogue.empty()) std::cout << '\n' << options.epilogue << '\n';
@@ -168,6 +187,19 @@ int drive(int argc, char** argv, const DriveOptions& options) {
                    "the simulator); rerun with --recovery=degraded or "
                    "--recovery=rejoin to survive crash faults\n";
       return 3;
+    }
+  }
+  // Under --sanitize=strict the tolerance contract is an assertion, not a
+  // diagnostic: any read outside the declared envelope fails the run.
+  if (sanitize_level == sanitize::Level::kStrict) {
+    std::uint64_t violations = 0;
+    for (const auto& row : rows) violations += row.stats.sanitize_violations;
+    if (violations > 0) {
+      std::cerr << "harness: sanitize=strict — " << violations
+                << " tolerance-contract violation(s) across " << rows.size()
+                << " run(s); per-read detail reported above by each "
+                   "machine's sanitizer\n";
+      return 4;
     }
   }
   return 0;

@@ -18,6 +18,8 @@ std::vector<std::pair<std::string, double>> RunStats::to_fields() const {
       {"frames_lost", static_cast<double>(frames_lost)},
       {"retransmissions", static_cast<double>(retransmissions)},
       {"read_escalations", static_cast<double>(read_escalations)},
+      {"integrity_dropped", static_cast<double>(integrity_dropped)},
+      {"sanitize_violations", static_cast<double>(sanitize_violations)},
       {"crashes", static_cast<double>(crashes)},
       {"checkpoints_taken", static_cast<double>(checkpoints_taken)},
       {"restores", static_cast<double>(restores)},

@@ -59,6 +59,9 @@ struct RunStats {
   std::uint64_t frames_lost = 0;
   std::uint64_t retransmissions = 0;
   std::uint64_t read_escalations = 0;
+  /// Data-integrity counters (zero unless corruption/sanitizing is on).
+  std::uint64_t integrity_dropped = 0;    ///< Damaged DSM frames quarantined.
+  std::uint64_t sanitize_violations = 0;  ///< Tolerance-contract violations.
   /// Crash-recovery counters (zero unless a recovery policy was active).
   std::uint64_t crashes = 0;
   std::uint64_t checkpoints_taken = 0;

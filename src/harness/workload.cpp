@@ -8,6 +8,10 @@ namespace nscc::harness {
 
 void Workload::print_reference(std::ostream&, const RunConfig&) {}
 
+sanitize::ToleranceSpec Workload::tolerance_spec(const RunConfig&) const {
+  return {};
+}
+
 bool Registry::add(std::unique_ptr<Workload> workload) {
   if (workload == nullptr) return false;
   if (find(workload->name()) != nullptr) return false;

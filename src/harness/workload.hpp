@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "harness/run_config.hpp"
+#include "sanitize/sanitize.hpp"
 
 namespace nscc::util {
 class Flags;
@@ -46,6 +47,14 @@ class Workload {
   /// function of its fields.
   virtual RunStats run(const RunConfig& run,
                        const rt::MachineConfig& machine) = 0;
+
+  /// The workload's race-tolerance contract for one configured run: which
+  /// shared locations tolerate how much staleness, and whether degraded or
+  /// never-written values may flow into their consumers.  The staleness
+  /// sanitizer audits every DSM read against this.  Default: an empty spec
+  /// (fully tolerant — nothing is certified).
+  [[nodiscard]] virtual sanitize::ToleranceSpec tolerance_spec(
+      const RunConfig& run) const;
 
   /// Optional sequential-reference preamble (serial baseline line) printed
   /// once by the shared driver before the variant loop.  Default: nothing.

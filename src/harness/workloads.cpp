@@ -1,5 +1,6 @@
 #include "harness/workloads.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <ostream>
 
@@ -34,6 +35,29 @@ void fill_recovery(RunStats& stats, const Result& r) {
   stats.detection_latency = r.recovery.detection_latency;
   stats.recovery_latency = r.recovery.recovery_latency;
   stats.lost_iterations = r.recovery.lost_iterations;
+}
+
+/// Integrity/sanitizer counters (every workload result carries both).
+template <typename Result>
+void fill_integrity(RunStats& stats, const Result& r) {
+  stats.integrity_dropped = r.integrity_dropped;
+  stats.sanitize_violations = r.sanitize_violations;
+}
+
+/// The staleness bound each variant's read discipline promises: synchronous
+/// reads demand the producer's previous iteration exactly, Global_Read(age)
+/// reads promise the declared bound, fully asynchronous reads tolerate
+/// anything (that is the paper's uncontrolled baseline).
+sanitize::Iteration mode_age_bound(const RunConfig& run) {
+  switch (run.mode) {
+    case dsm::Mode::kSynchronous:
+      return 0;
+    case dsm::Mode::kPartialAsync:
+      return run.age;
+    case dsm::Mode::kAsynchronous:
+      break;
+  }
+  return -1;
 }
 
 }  // namespace
@@ -77,12 +101,34 @@ RunStats GaIslandWorkload::run(const RunConfig& run,
   stats.retransmissions = r.retransmissions;
   stats.read_escalations = r.read_escalations;
   fill_recovery(stats, r);
+  fill_integrity(stats, r);
   stats.quality_name = "best_fitness";
   stats.quality = r.best_fitness;
   stats.extra = {{"final_average", r.final_average},
                  {"evaluations", static_cast<double>(r.evaluations)},
                  {"cache_hits", static_cast<double>(r.cache_hits)}};
   return stats;
+}
+
+sanitize::ToleranceSpec GaIslandWorkload::tolerance_spec(
+    const RunConfig& run) const {
+  const ga::IslandConfig cfg = build(run);
+  sanitize::ToleranceRule rule;
+  rule.max_age = mode_age_bound(run);
+  // Adaptive demes raise their own age at runtime, bounded by the
+  // controller's cap — the contract certifies that cap, not the seed age.
+  if (cfg.adaptive_age && run.mode == dsm::Mode::kPartialAsync) {
+    rule.max_age = std::max(rule.max_age, cfg.adaptive.max_age);
+  }
+  // Sync/partial demes always state an age bound on migrant reads; only
+  // the uncontrolled asynchronous variant reads un-aged.  Degraded and
+  // not-yet-valid migrants are tolerated by design: demes skip them (crash
+  // recovery serves the last published migrants; before the first
+  // migration nothing has arrived).
+  rule.require_aged = run.mode != dsm::Mode::kAsynchronous;
+  sanitize::ToleranceSpec spec;
+  spec.declare_range(ga::migrant_loc(0), ga::migrant_loc(cfg.ndemes), rule);
+  return spec;
 }
 
 // ---- bayes.sampling --------------------------------------------------------
@@ -150,6 +196,7 @@ RunStats BayesSamplingWorkload::run(const RunConfig& run,
   stats.mean_warp = r.mean_warp;
   stats.read_escalations = r.read_escalations;
   fill_recovery(stats, r);
+  fill_integrity(stats, r);
   stats.quality_name = "P(coma|cancer)";
   stats.quality = r.estimates.empty() ? 0.0 : r.estimates[0].probability;
   stats.extra = {
@@ -159,6 +206,21 @@ RunStats BayesSamplingWorkload::run(const RunConfig& run,
       {"nodes_resampled", static_cast<double>(r.nodes_resampled)},
       {"validated_samples", static_cast<double>(r.validated_samples)}};
   return stats;
+}
+
+sanitize::ToleranceSpec BayesSamplingWorkload::tolerance_spec(
+    const RunConfig& run) const {
+  sanitize::ToleranceRule rule;
+  rule.max_age = mode_age_bound(run);
+  // Guard-phase reads are receiver-driven flow control: partial mode polls
+  // un-aged inside its free run-ahead window and the rollback machinery
+  // tolerates any interim value (corrections supersede), so un-aged reads
+  // are legitimate in every mode.
+  rule.require_aged = false;
+  sanitize::ToleranceSpec spec;
+  spec.declare_range(bayes::block_loc(0, 0), bayes::block_loc(parts, 0),
+                     rule);
+  return spec;
 }
 
 void BayesSamplingWorkload::print_reference(std::ostream& os,
@@ -216,12 +278,26 @@ RunStats JacobiWorkload::run(const RunConfig& run,
   stats.mean_staleness = r.mean_staleness;
   stats.read_escalations = r.read_escalations;
   fill_recovery(stats, r);
+  fill_integrity(stats, r);
   stats.quality_name = "residual";
   stats.quality = r.residual;
   stats.extra = {{"sweeps", static_cast<double>(r.sweeps)},
                  {"error_inf", r.error_inf},
                  {"converged", r.converged ? 1.0 : 0.0}};
   return stats;
+}
+
+sanitize::ToleranceSpec JacobiWorkload::tolerance_spec(const RunConfig& run) const {
+  sanitize::ToleranceRule rule;
+  rule.max_age = mode_age_bound(run);
+  // require_aged stays off in every mode: the verified convergence phase
+  // legitimately plain-reads boundary blocks after a flushing barrier, and
+  // Bertsekas-Tsitsiklis convergence tolerates any finite interim
+  // staleness on those paths.
+  sanitize::ToleranceSpec spec;
+  spec.declare_range(solver::block_loc(0), solver::block_loc(processors),
+                     rule);
+  return spec;
 }
 
 void JacobiWorkload::print_reference(std::ostream& os, const RunConfig& base) {
@@ -272,10 +348,24 @@ RunStats NnTrainWorkload::run(const RunConfig& run,
   stats.mean_staleness = r.mean_staleness;
   stats.read_escalations = r.read_escalations;
   fill_recovery(stats, r);
+  fill_integrity(stats, r);
   stats.quality_name = "final_loss";
   stats.quality = r.final_loss;
   stats.extra = {{"final_accuracy", r.final_accuracy}};
   return stats;
+}
+
+sanitize::ToleranceSpec NnTrainWorkload::tolerance_spec(const RunConfig& run) const {
+  sanitize::ToleranceRule rule;
+  rule.max_age = mode_age_bound(run);
+  // Sync/partial workers always bound their parameter pulls; only the
+  // Hogwild-flavoured asynchronous variant reads un-aged.  A not-yet-valid
+  // or degraded vector is tolerated: workers fall back to their local
+  // parameter copy (stale-gradient SGD still converges).
+  rule.require_aged = run.mode != dsm::Mode::kAsynchronous;
+  sanitize::ToleranceSpec spec;
+  spec.declare(nn::kParamsLoc, rule);
+  return spec;
 }
 
 void NnTrainWorkload::print_reference(std::ostream& os, const RunConfig& base) {

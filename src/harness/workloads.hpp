@@ -32,6 +32,8 @@ class GaIslandWorkload final : public Workload {
   [[nodiscard]] ga::IslandConfig build(const RunConfig& run) const;
   RunStats run(const RunConfig& run,
                const rt::MachineConfig& machine) override;
+  [[nodiscard]] sanitize::ToleranceSpec tolerance_spec(
+      const RunConfig& run) const override;
 };
 
 /// Speculative parallel logic sampling with rollback (paper Section 3.2) on
@@ -52,6 +54,8 @@ class BayesSamplingWorkload final : public Workload {
       const RunConfig& run) const;
   RunStats run(const RunConfig& run,
                const rt::MachineConfig& machine) override;
+  [[nodiscard]] sanitize::ToleranceSpec tolerance_spec(
+      const RunConfig& run) const override;
   void print_reference(std::ostream& os, const RunConfig& base) override;
 };
 
@@ -70,6 +74,8 @@ class JacobiWorkload final : public Workload {
   [[nodiscard]] solver::ParallelJacobiConfig build(const RunConfig& run) const;
   RunStats run(const RunConfig& run,
                const rt::MachineConfig& machine) override;
+  [[nodiscard]] sanitize::ToleranceSpec tolerance_spec(
+      const RunConfig& run) const override;
   void print_reference(std::ostream& os, const RunConfig& base) override;
 };
 
@@ -87,6 +93,8 @@ class NnTrainWorkload final : public Workload {
   [[nodiscard]] nn::TrainConfig build(const RunConfig& run) const;
   RunStats run(const RunConfig& run,
                const rt::MachineConfig& machine) override;
+  [[nodiscard]] sanitize::ToleranceSpec tolerance_spec(
+      const RunConfig& run) const override;
   void print_reference(std::ostream& os, const RunConfig& base) override;
 };
 

@@ -35,7 +35,8 @@ double SharedBus::utilization() const noexcept {
 bool SharedBus::transmit(std::uint32_t payload_bytes,
                          std::function<void(sim::Time)> on_delivered) {
   return transmit(-1, -1, payload_bytes,
-                  [cb = std::move(on_delivered)](sim::Time at, bool delivered) {
+                  [cb = std::move(on_delivered)](sim::Time at, bool delivered,
+                                                 std::uint64_t /*corrupt*/) {
                     if (delivered && cb) cb(at);
                   });
 }
@@ -86,12 +87,15 @@ bool SharedBus::transmit(int src, int dst, std::uint32_t payload_bytes,
   // time is charged above) — it dies between the wire and the receiver.
   bool lost = false;
   sim::Time dup_at = 0;
+  std::uint64_t corrupt_seed = 0;
   if (injector_ != nullptr) {
     const auto verdict = injector_->judge(src, dst, now, delivered_at);
     stats_.frames_lost += verdict.drop ? 1 : 0;
     stats_.frames_duplicated += verdict.duplicate ? 1 : 0;
     stats_.frames_delayed += verdict.extra_delay > 0 ? 1 : 0;
+    stats_.frames_corrupted += verdict.corrupt_seed != 0 ? 1 : 0;
     lost = verdict.drop;
+    corrupt_seed = verdict.corrupt_seed;
     delivered_at += verdict.extra_delay;
     if (verdict.duplicate) dup_at = delivered_at + verdict.duplicate_delay;
     if (tracer_ != nullptr && tracer_->enabled()) {
@@ -105,27 +109,35 @@ bool SharedBus::transmit(int src, int dst, std::uint32_t payload_bytes,
         tracer_->instant(obs::kBusTrack, "fault.delay", now, "extra_ns",
                          verdict.extra_delay);
       }
+      if (verdict.corrupt_seed != 0) {
+        tracer_->instant(obs::kBusTrack, "fault.corrupt", now, "src", src,
+                         "dst", dst);
+      }
     }
     if (lost && drop_hook_) drop_hook_(src, dst, payload_bytes, "fault");
   }
 
   if (lost) {
     engine_.schedule(delivered_at, [cb = std::move(outcome), delivered_at] {
-      cb(delivered_at, false);
+      cb(delivered_at, false, 0);
     });
     return true;
   }
   if (dup_at > 0) {
     // Two deliveries share one callback; copyable std::function allows it.
-    engine_.schedule(delivered_at,
-                     [cb = outcome, delivered_at] { cb(delivered_at, true); });
-    engine_.schedule(dup_at,
-                     [cb = std::move(outcome), dup_at] { cb(dup_at, true); });
+    // Only the original carries the damage: the duplicate models a
+    // link-level retransmit whose second copy arrived intact.
+    engine_.schedule(delivered_at, [cb = outcome, delivered_at, corrupt_seed] {
+      cb(delivered_at, true, corrupt_seed);
+    });
+    engine_.schedule(
+        dup_at, [cb = std::move(outcome), dup_at] { cb(dup_at, true, 0); });
     return true;
   }
-  engine_.schedule(delivered_at, [cb = std::move(outcome), delivered_at] {
-    cb(delivered_at, true);
-  });
+  engine_.schedule(delivered_at,
+                   [cb = std::move(outcome), delivered_at, corrupt_seed] {
+                     cb(delivered_at, true, corrupt_seed);
+                   });
   return true;
 }
 

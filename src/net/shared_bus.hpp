@@ -50,6 +50,7 @@ struct BusStats {
   std::uint64_t frames_lost = 0;        ///< Fault-injected losses on the wire.
   std::uint64_t frames_duplicated = 0;  ///< Fault-injected duplicates.
   std::uint64_t frames_delayed = 0;     ///< Fault-injected extra delay.
+  std::uint64_t frames_corrupted = 0;   ///< Fault-injected payload damage.
   std::uint64_t payload_bytes = 0;
   std::uint64_t wire_bytes = 0;
   sim::Time busy_time = 0;
@@ -62,7 +63,11 @@ class SharedBus {
   /// frame) or at the moment a fault loses the frame (delivered=false);
   /// always engine context.  A tail-dropped message reports neither — the
   /// transmit() return value covers that case synchronously.
-  using Outcome = std::function<void(sim::Time at, bool delivered)>;
+  /// `corrupt_seed` is nonzero when the frame arrived with a damaged
+  /// payload (fault::corruption_effect(seed, bytes) describes the damage);
+  /// a duplicated frame's second copy always arrives intact.
+  using Outcome = std::function<void(sim::Time at, bool delivered,
+                                     std::uint64_t corrupt_seed)>;
   /// Observer for every frame the medium abandons (tail drop or fault
   /// loss); `reason` is a static string ("tail_drop", "fault").
   using DropHook =

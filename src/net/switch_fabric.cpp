@@ -18,8 +18,8 @@ void SwitchFabric::transmit(
     int src, int dst, std::uint32_t payload_bytes,
     std::function<void(sim::Time delivered_at)> on_delivered) {
   transmit_observed(src, dst, payload_bytes,
-                    [cb = std::move(on_delivered)](sim::Time at,
-                                                   bool delivered) {
+                    [cb = std::move(on_delivered)](sim::Time at, bool delivered,
+                                                   std::uint64_t /*corrupt*/) {
                       if (delivered && cb) cb(at);
                     });
 }
@@ -51,37 +51,48 @@ void SwitchFabric::transmit_observed(int src, int dst,
 
   bool lost = false;
   sim::Time dup_at = 0;
+  std::uint64_t corrupt_seed = 0;
   if (injector_ != nullptr) {
     const auto verdict = injector_->judge(src, dst, now, delivered_at);
     stats_.frames_lost += verdict.drop ? 1 : 0;
     stats_.frames_duplicated += verdict.duplicate ? 1 : 0;
     stats_.frames_delayed += verdict.extra_delay > 0 ? 1 : 0;
+    stats_.frames_corrupted += verdict.corrupt_seed != 0 ? 1 : 0;
     lost = verdict.drop;
+    corrupt_seed = verdict.corrupt_seed;
     delivered_at += verdict.extra_delay;
     if (verdict.duplicate) dup_at = delivered_at + verdict.duplicate_delay;
-    if (tracer_ != nullptr && tracer_->enabled() && verdict.drop) {
-      tracer_->instant(obs::kSwitchTrackBase + src, "fault.loss", now, "dst",
-                       dst);
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      if (verdict.drop) {
+        tracer_->instant(obs::kSwitchTrackBase + src, "fault.loss", now, "dst",
+                         dst);
+      } else if (verdict.corrupt_seed != 0) {
+        tracer_->instant(obs::kSwitchTrackBase + src, "fault.corrupt", now,
+                         "dst", dst);
+      }
     }
     if (lost && drop_hook_) drop_hook_(src, dst, payload_bytes, "fault");
   }
 
   if (lost) {
     engine_.schedule(delivered_at, [cb = std::move(outcome), delivered_at] {
-      cb(delivered_at, false);
+      cb(delivered_at, false, 0);
     });
     return;
   }
   if (dup_at > 0) {
-    engine_.schedule(delivered_at,
-                     [cb = outcome, delivered_at] { cb(delivered_at, true); });
-    engine_.schedule(dup_at,
-                     [cb = std::move(outcome), dup_at] { cb(dup_at, true); });
+    // As on the bus, only the original copy carries the damage.
+    engine_.schedule(delivered_at, [cb = outcome, delivered_at, corrupt_seed] {
+      cb(delivered_at, true, corrupt_seed);
+    });
+    engine_.schedule(
+        dup_at, [cb = std::move(outcome), dup_at] { cb(dup_at, true, 0); });
     return;
   }
-  engine_.schedule(delivered_at, [cb = std::move(outcome), delivered_at] {
-    cb(delivered_at, true);
-  });
+  engine_.schedule(delivered_at,
+                   [cb = std::move(outcome), delivered_at, corrupt_seed] {
+                     cb(delivered_at, true, corrupt_seed);
+                   });
 }
 
 void SwitchFabric::set_tracer(obs::Tracer* tracer) noexcept {

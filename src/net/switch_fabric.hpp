@@ -40,14 +40,17 @@ struct SwitchStats {
   std::uint64_t frames_lost = 0;        ///< Fault-injected losses.
   std::uint64_t frames_duplicated = 0;  ///< Fault-injected duplicates.
   std::uint64_t frames_delayed = 0;     ///< Fault-injected extra delay.
+  std::uint64_t frames_corrupted = 0;   ///< Fault-injected payload damage.
   std::uint64_t payload_bytes = 0;
   sim::Time tx_busy_time = 0;  ///< Summed over ports.
 };
 
 class SwitchFabric {
  public:
-  /// See SharedBus::Outcome — identical contract.
-  using Outcome = std::function<void(sim::Time at, bool delivered)>;
+  /// See SharedBus::Outcome — identical contract (including the
+  /// corrupt_seed of a frame delivered with a damaged payload).
+  using Outcome = std::function<void(sim::Time at, bool delivered,
+                                     std::uint64_t corrupt_seed)>;
   using DropHook =
       std::function<void(int src, int dst, std::uint32_t payload_bytes,
                          const char* reason)>;

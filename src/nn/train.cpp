@@ -13,7 +13,6 @@ namespace nscc::nn {
 
 namespace {
 
-constexpr dsm::LocationId kParamsLoc = 900;
 constexpr int kGradientTag = 950;
 
 sim::Time gradient_cost(const Mlp& net, int batch, sim::Time per_mac) {
@@ -165,7 +164,8 @@ TrainResult train_parallel(const Dataset& data, const TrainConfig& config,
   // ---- parameter server -------------------------------------------------------
   vm.add_task("server", [&](rt::Task& task) {
     Mlp net(config.layers, config.seed);
-    dsm::SharedSpace space(task, {.read_timeout = config.propagation.read_timeout});
+    dsm::SharedSpace space(task, {.read_timeout = config.propagation.read_timeout,
+                                  .integrity = config.propagation.integrity});
     std::vector<int> readers;
     for (int w = 1; w <= P; ++w) readers.push_back(w);
     space.declare_written(kParamsLoc, readers);
@@ -301,7 +301,8 @@ TrainResult train_parallel(const Dataset& data, const TrainConfig& config,
     vm.add_task("worker" + std::to_string(w), [&, w](rt::Task& task) {
       Mlp net(config.layers, config.seed);
       dsm::PropagationPolicy prop{
-          .read_timeout = config.propagation.read_timeout};
+          .read_timeout = config.propagation.read_timeout,
+          .integrity = config.propagation.integrity};
       if (rc != nullptr) {
         prop.writer_alive = [rcp = rc](int node) { return rcp->alive(node); };
         if (prop.read_timeout <= 0) prop.read_timeout = 50 * sim::kMillisecond;
@@ -386,9 +387,13 @@ TrainResult train_parallel(const Dataset& data, const TrainConfig& config,
     result.global_read_block_time += d.global_read_block_time;
     result.read_escalations += d.read_escalations;
     result.degraded_reads += d.degraded_reads;
+    result.integrity_dropped += d.integrity_dropped;
   }
   if (coord != nullptr) result.recovery = coord->stats();
   result.mean_staleness = staleness.mean();
+  if (vm.sanitizer() != nullptr) {
+    result.sanitize_violations = vm.sanitizer()->stats().total_violations();
+  }
   return result;
 }
 

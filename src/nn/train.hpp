@@ -32,6 +32,10 @@
 
 namespace nscc::nn {
 
+/// Shared-location id of the parameter vector.  Public so the harness
+/// tolerance contract audits the same location the trainer shares.
+inline constexpr dsm::LocationId kParamsLoc = 900;
+
 /// Mode, age, seed, and the propagation policy live in the embedded
 /// harness::RunConfig.  The trainer honours only the policy's read_timeout
 /// (the Global_Read starvation watchdog); parameter/gradient publications
@@ -67,6 +71,11 @@ struct TrainResult {
   /// Crash-recovery diagnostics (zero unless config.recovery was enabled).
   recovery::Stats recovery;
   std::uint64_t degraded_reads = 0;
+  /// Damaged DSM frames quarantined (integrity checking enabled only).
+  std::uint64_t integrity_dropped = 0;
+  /// Tolerance-contract violations flagged by the staleness sanitizer
+  /// (zero when the machine runs with --sanitize=off).
+  std::uint64_t sanitize_violations = 0;
 
   /// First virtual time at which the training loss reached `target`;
   /// -1 when never.

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "util/crc32.hpp"
+
 namespace nscc::rt {
 
 class Packet {
@@ -103,6 +105,30 @@ class Packet {
                   buf_.begin() + static_cast<std::ptrdiff_t>(
                                      std::min(n, buf_.size())));
     return q;
+  }
+
+  /// CRC32 of the full serialized payload, independent of the read cursor.
+  /// This is the checksum the transport stamps on frames and the one the
+  /// DSM shadow log records per write.
+  [[nodiscard]] std::uint32_t crc32() const noexcept {
+    return util::crc32(buf_.data(), buf_.size());
+  }
+
+  // ---- in-place damage (fault injection only) ------------------------------
+  /// Flip one bit; `bit` indexes the payload bit-stream and wraps, so any
+  /// corruption seed maps onto a valid position.
+  void flip_bit(std::size_t bit) noexcept {
+    if (buf_.empty()) return;
+    bit %= buf_.size() * 8;
+    buf_[bit / 8] ^= static_cast<std::byte>(1U << (bit % 8));
+  }
+
+  /// Drop every byte past the first `n` (models a frame cut short on the
+  /// wire).  The read cursor is clamped into the surviving prefix.
+  void truncate_to(std::size_t n) {
+    if (n >= buf_.size()) return;
+    buf_.resize(n);
+    rpos_ = std::min(rpos_, n);
   }
 
  private:

@@ -1,6 +1,8 @@
 #include "rt/vm.hpp"
 
 #include <cassert>
+#include <iostream>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -229,6 +231,9 @@ bool VirtualMachine::post(int src, int dst, int tag, Packet payload,
   // window and per-task traffic stats (hardware/daemon-level frames).
   st->payload_bytes =
       is_ack ? config_.transport.ack_bytes : st->msg.payload.byte_size();
+  // Stamp the payload checksum only when the plan can actually damage
+  // frames: corruption-free runs never pay for the CRC pass.
+  if (may_corrupt_) st->crc = st->msg.payload.crc32();
   st->on_settled = std::move(on_settled);
 
   if (is_ack) {
@@ -275,8 +280,9 @@ bool VirtualMachine::post(int src, int dst, int tag, Packet payload,
 }
 
 void VirtualMachine::transmit_frame(const std::shared_ptr<TxState>& st) {
-  auto outcome = [this, st](sim::Time at, bool delivered) {
-    on_wire_outcome(st, at, delivered);
+  auto outcome = [this, st](sim::Time at, bool delivered,
+                            std::uint64_t corrupt_seed) {
+    on_wire_outcome(st, at, delivered, corrupt_seed);
   };
   if (switch_) {
     switch_->transmit_observed(st->msg.src, st->dst, st->payload_bytes,
@@ -288,12 +294,13 @@ void VirtualMachine::transmit_frame(const std::shared_ptr<TxState>& st) {
     // Tail drop: nothing went on the wire, so the outcome callback will
     // never run.  Release the window now; a reliable frame stays pending
     // for the retransmit timer, a best-effort frame settles as lost.
-    on_wire_outcome(st, engine_.now(), false);
+    on_wire_outcome(st, engine_.now(), false, 0);
   }
 }
 
 void VirtualMachine::on_wire_outcome(const std::shared_ptr<TxState>& st,
-                                     sim::Time at, bool delivered) {
+                                     sim::Time at, bool delivered,
+                                     std::uint64_t corrupt_seed) {
   if (!st->window_released) {
     st->window_released = true;
     Task* sender = tasks_.at(st->msg.src).get();
@@ -304,7 +311,7 @@ void VirtualMachine::on_wire_outcome(const std::shared_ptr<TxState>& st,
     }
   }
   if (delivered) {
-    deliver_frame(st, at);
+    deliver_frame(st, at, corrupt_seed);
   } else if (!st->reliable) {
     // A lost best-effort frame settles as undelivered right away; a lost
     // reliable frame is recovered by the retransmit timer.
@@ -313,13 +320,46 @@ void VirtualMachine::on_wire_outcome(const std::shared_ptr<TxState>& st,
 }
 
 void VirtualMachine::deliver_frame(const std::shared_ptr<TxState>& st,
-                                   sim::Time at) {
+                                   sim::Time at,
+                                   std::uint64_t corrupt_seed) {
   Task* receiver = tasks_.at(st->dst).get();
+
+  // Fault-injected payload damage lands on a copy — TxState keeps the
+  // pristine payload so a retransmission resends intact bytes.
+  std::optional<Packet> damaged;
+  if (corrupt_seed != 0) {
+    damaged = st->msg.payload;
+    const auto effect =
+        fault::corruption_effect(corrupt_seed, damaged->byte_size());
+    for (const std::size_t bit : effect.bit_flips) damaged->flip_bit(bit);
+    if (effect.truncate_to != static_cast<std::size_t>(-1)) {
+      damaged->truncate_to(effect.truncate_to);
+    }
+    if (config_.transport.crc_frames && damaged->crc32() != st->crc) {
+      // The receiver's NIC catches the damage: discard the frame exactly
+      // as if the wire had lost it.  A best-effort frame settles as
+      // undelivered; a reliable one is recovered by the retransmit timer.
+      ++transport_stats_.crc_drops;
+      obs_.tracer().instant(st->dst, "rt.crc_drop", at, "src", st->msg.src,
+                            "tag", st->msg.tag);
+      if (!st->reliable) settle(st, false);
+      return;
+    }
+    // CRC framing off (or an undetected collision): the damaged payload
+    // reaches the stack — the DSM integrity layer / sanitizer's business.
+  }
 
   if (st->msg.tag == kAckTag) {
     // Transport control frame: settle the acknowledged data frame and stop.
-    Packet p = st->msg.payload;
+    Packet p = damaged ? *damaged : st->msg.payload;
     p.rewind();
+    if (p.remaining() < sizeof(std::uint64_t)) {
+      // A corrupted ACK cut below its sequence number carries nothing
+      // usable; the data frame's retransmit timer re-elicits one.
+      ++transport_stats_.malformed_frames;
+      settle(st, true);
+      return;
+    }
     const std::uint64_t seq = p.unpack_u64();
     // The ACK's destination is the original data sender; its source is the
     // node that received the data.
@@ -343,6 +383,7 @@ void VirtualMachine::deliver_frame(const std::shared_ptr<TxState>& st,
   }
 
   Message m = st->msg;  // Copy: fault duplicates may deliver a second time.
+  if (damaged) m.payload = std::move(*damaged);
   m.delivered_at = at;
   receiver->deliver(std::move(m));
   if (!st->reliable) settle(st, true);
@@ -454,6 +495,14 @@ VirtualMachine::VirtualMachine(MachineConfig config)
     injector_ = std::make_unique<fault::FaultInjector>(config_.fault);
     bus_.set_fault_injector(injector_.get());
     if (switch_) switch_->set_fault_injector(injector_.get());
+    may_corrupt_ = config_.fault.link.corrupt_prob > 0.0 ||
+                   !config_.fault.corrupt_windows.empty();
+    for (const auto& entry : config_.fault.per_link) {
+      may_corrupt_ = may_corrupt_ || entry.second.corrupt_prob > 0.0;
+    }
+  }
+  if (config_.sanitize.enabled()) {
+    sanitizer_ = std::make_unique<sanitize::Sanitizer>(config_.sanitize, obs_);
   }
   if (obs_.active()) {
     // Route every frame death (tail drop or injected fault) into a named
@@ -522,6 +571,7 @@ void VirtualMachine::flush_stats() {
   reg.counter("net.frames_lost").inc(bs.frames_lost);
   reg.counter("net.frames_duplicated").inc(bs.frames_duplicated);
   reg.counter("net.frames_delayed").inc(bs.frames_delayed);
+  reg.counter("net.frames_corrupted").inc(bs.frames_corrupted);
   reg.counter("net.payload_bytes").inc(bs.payload_bytes);
   reg.counter("net.wire_bytes").inc(bs.wire_bytes);
   reg.counter("net.busy_time_ns").inc(static_cast<std::uint64_t>(bs.busy_time));
@@ -531,6 +581,7 @@ void VirtualMachine::flush_stats() {
     reg.counter("net.switch.frames_lost").inc(ss.frames_lost);
     reg.counter("net.switch.frames_duplicated").inc(ss.frames_duplicated);
     reg.counter("net.switch.frames_delayed").inc(ss.frames_delayed);
+    reg.counter("net.switch.frames_corrupted").inc(ss.frames_corrupted);
     reg.counter("net.switch.payload_bytes").inc(ss.payload_bytes);
     reg.counter("net.switch.tx_busy_time_ns")
         .inc(static_cast<std::uint64_t>(ss.tx_busy_time));
@@ -540,6 +591,8 @@ void VirtualMachine::flush_stats() {
   reg.counter("rt.acks_sent").inc(transport_stats_.acks_sent);
   reg.counter("rt.dup_frames_dropped")
       .inc(transport_stats_.dup_frames_dropped);
+  reg.counter("rt.crc_drops").inc(transport_stats_.crc_drops);
+  reg.counter("rt.malformed_frames").inc(transport_stats_.malformed_frames);
   if (injector_) {
     const fault::FaultStats& fs = injector_->stats();
     reg.counter("fault.frames_judged").inc(fs.frames_judged);
@@ -548,7 +601,9 @@ void VirtualMachine::flush_stats() {
     reg.counter("fault.crash_drops").inc(fs.crash_drops);
     reg.counter("fault.frames_duplicated").inc(fs.frames_duplicated);
     reg.counter("fault.frames_delayed").inc(fs.frames_delayed);
+    reg.counter("fault.frames_corrupted").inc(fs.frames_corrupted);
   }
+  if (sanitizer_) sanitizer_->flush(reg);
   reg.gauge("net.utilization").set(network_utilization());
   reg.gauge("warp.mean").set(warp_.samples() > 0 ? warp_.overall().mean()
                                                  : 0.0);
@@ -610,7 +665,15 @@ sim::Time VirtualMachine::run(sim::Time until) {
     flush_stats();
     obs_.sampler().sample_now(end);  // Final row at the completion time.
     obs_.finalize();
+  } else if (sanitizer_) {
+    // flush_stats() (above) already forwarded the sanitizer's counters when
+    // obs is active; with obs off the registry still exists, so the
+    // counters stay queryable either way.
+    sanitizer_->flush(obs_.registry());
   }
+  // The violation report prints regardless of observability: certifying
+  // race tolerance is the whole point of running with --sanitize on.
+  if (sanitizer_) sanitizer_->report(std::cerr);
   return end;
 }
 

@@ -26,6 +26,7 @@
 #include "obs/obs.hpp"
 #include "rt/packet.hpp"
 #include "rt/transport.hpp"
+#include "sanitize/sanitize.hpp"
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
 #include "util/rng.hpp"
@@ -95,6 +96,10 @@ struct MachineConfig {
   fault::FaultPlan fault;
   /// Reliable-transport layer (sequence/ACK/retransmit); off by default.
   ReliabilityConfig transport;
+  /// Staleness sanitizer (shadow-state audit of every DSM read against the
+  /// workload's ToleranceSpec); off by default.  When enabled the VM owns a
+  /// sanitize::Sanitizer that dsm::SharedSpace feeds.
+  sanitize::Options sanitize;
 };
 
 struct TaskStats {
@@ -275,6 +280,10 @@ class VirtualMachine {
   [[nodiscard]] const TransportStats& transport_stats() const noexcept {
     return transport_stats_;
   }
+  /// The machine's staleness sanitizer, or nullptr when --sanitize=off.
+  [[nodiscard]] sanitize::Sanitizer* sanitizer() noexcept {
+    return sanitizer_.get();
+  }
 
  private:
   friend class Task;
@@ -292,14 +301,18 @@ class VirtualMachine {
     int attempts = 1;
     sim::Time rto = 0;
     sim::Engine::WatchdogId retx_timer = 0;
+    /// Payload CRC32 stamped at post() time (only when the fault plan can
+    /// corrupt frames); the receive path recomputes it after fault damage.
+    std::uint32_t crc = 0;
     std::function<void(bool)> on_settled;
   };
 
   [[nodiscard]] bool reliable_for(int tag, Reliability reliability) const;
   void transmit_frame(const std::shared_ptr<TxState>& st);
   void on_wire_outcome(const std::shared_ptr<TxState>& st, sim::Time at,
-                       bool delivered);
-  void deliver_frame(const std::shared_ptr<TxState>& st, sim::Time at);
+                       bool delivered, std::uint64_t corrupt_seed);
+  void deliver_frame(const std::shared_ptr<TxState>& st, sim::Time at,
+                     std::uint64_t corrupt_seed);
   void settle(const std::shared_ptr<TxState>& st, bool delivered);
   void arm_retx_timer(const std::shared_ptr<TxState>& st);
   void send_ack(int from, int to, std::uint64_t seq);
@@ -311,6 +324,10 @@ class VirtualMachine {
   net::SharedBus bus_;
   std::unique_ptr<net::SwitchFabric> switch_;  ///< Set for kSp2Switch.
   std::unique_ptr<fault::FaultInjector> injector_;  ///< Set iff plan non-empty.
+  std::unique_ptr<sanitize::Sanitizer> sanitizer_;  ///< Set iff sanitize on.
+  /// True when the fault plan can corrupt frames: gates the per-frame CRC
+  /// stamping so corruption-free runs do not pay the checksum cost.
+  bool may_corrupt_ = false;
   warp::WarpMeter warp_;
   TransportStats transport_stats_;
   /// Next sequence number per (src,dst) reliable stream (starts at 1).

@@ -17,8 +17,6 @@ constexpr int kResidualTag = 800;
 constexpr int kDecisionTag = 801;
 constexpr int kGatherTag = 802;
 
-dsm::LocationId block_loc(int owner) { return 700 + owner; }
-
 /// Contiguous row blocks: owner p holds [starts[p], starts[p+1]).
 std::vector<int> block_starts(int size, int parts) {
   std::vector<int> starts(static_cast<std::size_t>(parts) + 1);
@@ -167,7 +165,8 @@ ParallelJacobiResult run_parallel_jacobi(const LinearSystem& sys,
 
       dsm::PropagationPolicy prop{
           .coalesce = config.propagation.coalesce,
-          .read_timeout = config.propagation.read_timeout};
+          .read_timeout = config.propagation.read_timeout,
+          .integrity = config.propagation.integrity};
       recovery::Coordinator* rc = coord.get();
       if (rc != nullptr) {
         prop.writer_alive = [rc](int node) { return rc->alive(node); };
@@ -425,7 +424,6 @@ ParallelJacobiResult run_parallel_jacobi(const LinearSystem& sys,
 
   // Assemble the final solution from the per-task blocks.
   result.x.assign(static_cast<std::size_t>(n), 0.0);
-  util::RunningStats staleness;
   for (int p = 0; p < P; ++p) {
     const Outcome& out = outcomes[static_cast<std::size_t>(p)];
     for (std::size_t i = 0; i < out.block.size(); ++i) {
@@ -435,13 +433,19 @@ ParallelJacobiResult run_parallel_jacobi(const LinearSystem& sys,
     result.sweeps = std::max(result.sweeps, out.sweeps);
     result.global_read_blocks += out.dsm.global_read_blocks;
     result.global_read_block_time += out.dsm.global_read_block_time;
-    staleness.merge(out.dsm.staleness_on_read);
     result.messages_sent += vm.task(p).stats().messages_sent;
     result.read_escalations += out.dsm.read_escalations;
     result.degraded_reads += out.dsm.degraded_reads;
+    result.integrity_dropped += out.dsm.integrity_dropped;
   }
   if (coord != nullptr) result.recovery = coord->stats();
-  result.mean_staleness = staleness.mean();
+  // The machine-wide staleness histogram is every block's per-task histogram
+  // merged at the source (single registry), so its mean IS the run mean.
+  result.mean_staleness =
+      vm.obs().registry().histogram("dsm.staleness").mean();
+  if (vm.sanitizer() != nullptr) {
+    result.sanitize_violations = vm.sanitizer()->stats().total_violations();
+  }
   result.residual = sys.a.residual_inf(result.x, sys.b);
   result.converged = result.residual <= config.tolerance;
   double err = 0.0;

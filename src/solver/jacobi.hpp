@@ -28,6 +28,12 @@
 
 namespace nscc::solver {
 
+/// Shared-location id of processor `owner`'s row block.  Public so the
+/// harness tolerance contract audits the same locations the blocks share.
+[[nodiscard]] inline dsm::LocationId block_loc(int owner) noexcept {
+  return 700 + owner;
+}
+
 struct JacobiConfig {
   double tolerance = 1e-8;      ///< Converged when ||b - Ax||_inf <= tol.
   int max_sweeps = 20000;
@@ -75,6 +81,11 @@ struct ParallelJacobiResult : JacobiResult {
   /// Crash-recovery diagnostics (zero unless config.recovery was enabled).
   recovery::Stats recovery;
   std::uint64_t degraded_reads = 0;
+  /// Damaged DSM frames quarantined (integrity checking enabled only).
+  std::uint64_t integrity_dropped = 0;
+  /// Tolerance-contract violations flagged by the staleness sanitizer
+  /// (zero when the machine runs with --sanitize=off).
+  std::uint64_t sanitize_violations = 0;
 };
 
 /// Row-block parallel Jacobi on a fresh simulated machine.

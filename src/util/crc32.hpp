@@ -1,0 +1,65 @@
+// CRC32 (IEEE 802.3 polynomial, reflected) over arbitrary byte ranges.
+//
+// The simulator models frame payloads as real bytes, so end-to-end
+// integrity can be modeled honestly: the transport stamps each frame with
+// the checksum of its payload (rt::Packet::crc32) and the receiver
+// recomputes it after fault injection has had its chance to flip bits or
+// truncate the frame.  The checksum itself is treated as protocol
+// metadata — it occupies no modeled wire bytes, exactly like the
+// seq/ack/tag headers — so enabling it never perturbs simulated time.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace nscc::util {
+
+namespace detail {
+
+inline const std::array<std::uint32_t, 256>& crc32_table() noexcept {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace detail
+
+/// Incremental form: feed `crc32_update` successive chunks starting from
+/// crc32_init(), then finalize.  The one-shot crc32() below is the common
+/// entry point.
+[[nodiscard]] constexpr std::uint32_t crc32_init() noexcept {
+  return 0xFFFFFFFFU;
+}
+
+[[nodiscard]] inline std::uint32_t crc32_update(std::uint32_t crc,
+                                                const void* data,
+                                                std::size_t len) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const auto& table = detail::crc32_table();
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFU] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+[[nodiscard]] constexpr std::uint32_t crc32_final(std::uint32_t crc) noexcept {
+  return crc ^ 0xFFFFFFFFU;
+}
+
+/// CRC32 of a contiguous byte range (IEEE; crc32("123456789") == 0xCBF43926).
+[[nodiscard]] inline std::uint32_t crc32(const void* data,
+                                         std::size_t len) noexcept {
+  return crc32_final(crc32_update(crc32_init(), data, len));
+}
+
+}  // namespace nscc::util

@@ -406,8 +406,16 @@ TEST(SharedSpace, StatsTrackBlocksAndStaleness) {
   EXPECT_EQ(snap.global_reads, 2u);
   EXPECT_EQ(snap.global_read_blocks, 1u);
   EXPECT_GE(snap.global_read_block_time, 10 * kMillisecond);
-  EXPECT_EQ(snap.staleness_on_read.count(), 2u);
-  EXPECT_DOUBLE_EQ(snap.staleness_on_read.max(), 2.0);
+  ASSERT_NE(snap.staleness_on_read, nullptr);
+  EXPECT_EQ(snap.staleness_on_read->count(), 2u);
+  EXPECT_DOUBLE_EQ(snap.staleness_on_read->max(), 2.0);
+  // DsmStats reads from the obs registry, so the machine-wide histogram is
+  // the same accounting and can never disagree with the per-task view.
+  const nscc::obs::Histogram& machine =
+      vm.obs().registry().histogram("dsm.staleness");
+  EXPECT_EQ(machine.count(), snap.staleness_on_read->count());
+  EXPECT_DOUBLE_EQ(machine.max(), snap.staleness_on_read->max());
+  EXPECT_DOUBLE_EQ(machine.mean(), snap.staleness_on_read->mean());
 }
 
 TEST(SharedSpace, RequestImplCountsDemandTraffic) {
