@@ -38,6 +38,11 @@ SharedSpace::SharedSpace(rt::Task& task, PropagationPolicy policy)
     obs_ = &hub;
     blocked_readers_ = &hub.registry().gauge("dsm.blocked_readers");
     inflight_updates_ = &hub.registry().gauge("dsm.updates_inflight");
+    read_queued_ = &hub.registry().counter("dsm.read.queued");
+    read_blocked_ = &hub.registry().counter("dsm.read.blocked");
+    read_escalated_ = &hub.registry().counter("dsm.read.escalated");
+    read_degraded_ = &hub.registry().counter("dsm.read.degraded");
+    read_block_ns_ = &hub.registry().histogram("dsm.read.block_ns");
   }
   // Serve read demands at delivery time, in engine context, so a writer
   // blocked in a barrier or its own Global_Read still answers starved
@@ -92,7 +97,8 @@ void SharedSpace::declare_read(LocationId loc, int writer) {
 
 void SharedSpace::send_update(LocationId loc, int reader, Iteration iteration,
                               const rt::Packet& value, bool charge_cpu,
-                              rt::Reliability reliability) {
+                              rt::Reliability reliability,
+                              std::uint64_t flow) {
   rt::Packet payload;
   payload.pack_i32(loc);
   payload.pack_i64(iteration);
@@ -137,12 +143,12 @@ void SharedSpace::send_update(LocationId loc, int reader, Iteration iteration,
   if (charge_cpu) {
     // Process context: full send path (CPU overhead + transport window).
     task_.send_observed(reader, rt::kDsmUpdateTag, std::move(payload),
-                        std::move(on_settled), reliability);
+                        std::move(on_settled), reliability, flow);
   } else {
     // Engine context (DSM daemon forwarding a coalesced update): inject
     // without charging or blocking the application task.
     task_.vm().post(task_.id(), reader, rt::kDsmUpdateTag, std::move(payload),
-                    std::move(on_settled), reliability);
+                    std::move(on_settled), reliability, flow);
   }
   ++stats_.updates_sent;
 }
@@ -159,9 +165,18 @@ void SharedSpace::on_update_settled(LocationId loc, int reader,
   if (pr.has_pending) {
     pr.has_pending = false;
     pr.in_flight = true;
+    const std::uint64_t flow = pr.pending_flow;
+    pr.pending_flow = 0;
     send_update(loc, reader, pr.pending_iteration, pr.pending_value,
-                /*charge_cpu=*/false);
+                /*charge_cpu=*/false, rt::Reliability::kAuto, flow);
   }
+}
+
+std::uint64_t SharedSpace::begin_flow(LocationId loc, Iteration iteration) {
+  const std::uint64_t id = obs_->tracer().new_flow();
+  obs_->tracer().flow_begin(task_.id(), "dsm.flow", task_.now(), id, "loc",
+                            loc, "iter", iteration);
+  return id;
 }
 
 void SharedSpace::write(LocationId loc, Iteration iteration, rt::Packet value) {
@@ -190,6 +205,10 @@ void SharedSpace::write(LocationId loc, Iteration iteration, rt::Packet value) {
   for (int reader : it->second.readers) {
     if (reader == task_.id()) continue;  // The local store is the update.
     auto& pr = it->second.per_reader.at(reader);
+    // One causal flow per (write, reader): begun here on the producer's
+    // track so the arrow starts at the write even when coalescing defers
+    // (or replaces) the actual send.
+    const std::uint64_t flow = flows_on() ? begin_flow(loc, iteration) : 0;
     if (policy_.coalesce && pr.in_flight) {
       if (pr.has_pending) {
         ++stats_.updates_coalesced;
@@ -201,20 +220,23 @@ void SharedSpace::write(LocationId loc, Iteration iteration, rt::Packet value) {
       pr.has_pending = true;
       pr.pending_iteration = iteration;
       pr.pending_value = value;
+      pr.pending_flow = flow;
       continue;
     }
     if (policy_.coalesce) pr.in_flight = true;
-    send_update(loc, reader, iteration, value, /*charge_cpu=*/true);
+    send_update(loc, reader, iteration, value, /*charge_cpu=*/true,
+                rt::Reliability::kAuto, flow);
   }
 }
 
-void SharedSpace::apply_update(rt::Packet& payload) {
+void SharedSpace::apply_update(rt::Message& msg) {
   // Parse defensively: with the transport's frame check disabled (or
   // corruption the CRC missed), the bytes on the mailbox can be garbage.
   // A frame that cannot be decoded, or whose payload checksum disagrees
   // with the writer's stamp, is quarantined — never applied, never shown
   // to the observer — and, when we actually read the location, a reliable
   // demand re-fetches a clean copy from the writer.
+  rt::Packet& payload = msg.payload;
   LocationId loc = 0;
   Iteration iteration = 0;
   rt::Packet data;
@@ -257,10 +279,19 @@ void SharedSpace::apply_update(rt::Packet& payload) {
     v.valid = true;
     v.degraded = false;
     v.data = std::move(data);
+    // The applied copy carries its update's flow; a superseded copy's
+    // unconsumed flow simply ends nowhere (the value was never read).
+    v.flow = msg.flow;
     ++stats_.updates_applied;
     if (obs_ != nullptr) {
       obs_->tracer().instant(task_.id(), "dsm.update.apply", task_.now(),
                              "loc", loc, "iter", iteration);
+      if (msg.flow != 0) {
+        // Apply-time hop: the gap back to the delivery-time step is the
+        // update's mailbox-queued latency.
+        obs_->tracer().flow_step(task_.id(), "dsm.flow.apply", task_.now(),
+                                 msg.flow, "loc", loc, "iter", iteration);
+      }
     }
   } else {
     ++stats_.updates_stale_dropped;
@@ -297,8 +328,12 @@ void SharedSpace::serve_request(rt::Packet& payload, int from) {
     // Served in engine context (the tag handler fires at delivery), so the
     // reply is posted daemon-style — no CPU charge, no window — and rides
     // the reliable channel: a demanded value is load-bearing by definition.
+    // The resend is a fresh causal flow: its arrow starts at the serve, not
+    // at the (possibly long-past) original write.
+    const std::uint64_t flow =
+        flows_on() ? begin_flow(loc, mine.iteration) : 0;
     send_update(loc, from, mine.iteration, mine.data, /*charge_cpu=*/false,
-                rt::Reliability::kReliable);
+                rt::Reliability::kReliable, flow);
     ++stats_.request_replies;
   }
 }
@@ -327,7 +362,7 @@ void SharedSpace::drain_requests() {
 
 void SharedSpace::poll() {
   while (auto msg = task_.try_recv(rt::kDsmUpdateTag)) {
-    apply_update(msg->payload);
+    apply_update(*msg);
   }
   drain_requests();
 }
@@ -359,12 +394,16 @@ const SharedSpace::Value& SharedSpace::global_read(LocationId loc,
     throw std::logic_error("SharedSpace: global_read of an undeclared location");
   }
   ++stats_.global_reads;
-  poll();
-
   const Iteration need = curr_iter - age;
   Value& v = it->second;
+  const bool was_fresh = v.valid && v.iteration >= need;
+  poll();
+
   if (!v.valid || v.iteration < need) {
     ++stats_.global_read_blocks;
+    if (read_blocked_ != nullptr) read_blocked_->inc();
+    bool escalated = false;
+    bool degraded_here = false;
     if (policy_.read_impl == GlobalReadImpl::kRequest) {
       send_demand(loc, need);
     }
@@ -393,6 +432,7 @@ const SharedSpace::Value& SharedSpace::global_read(LocationId loc,
     while (!v.valid || v.iteration < need) {
       if (degradable && writer >= 0 && !policy_.writer_alive(writer)) {
         v.degraded = true;
+        degraded_here = true;
         ++stats_.degraded_reads;
         if (obs_ != nullptr) {
           obs_->tracer().instant(task_.id(), "dsm.read.degraded", task_.now(),
@@ -407,18 +447,19 @@ const SharedSpace::Value& SharedSpace::global_read(LocationId loc,
       }
       if (quantum <= 0) {
         rt::Message msg = task_.recv(rt::kDsmUpdateTag);
-        apply_update(msg.payload);
+        apply_update(msg);
         continue;
       }
       auto msg = task_.recv_timeout(rt::kDsmUpdateTag, quantum);
       if (msg) {
-        apply_update(msg->payload);
+        apply_update(*msg);
         continue;
       }
       if (budget <= 0) continue;  // Liveness poll only, no watchdog armed.
       remaining -= quantum;
       if (remaining > 0) continue;
       ++stats_.read_escalations;
+      escalated = true;
       if (obs_ != nullptr) {
         obs_->tracer().instant(task_.id(), "dsm.read.escalate", task_.now(),
                                "loc", loc, "need", need);
@@ -433,12 +474,31 @@ const SharedSpace::Value& SharedSpace::global_read(LocationId loc,
       obs_->tracer().complete(task_.id(), "Global_Read", blocked_from,
                               task_.now() - blocked_from, "loc", loc, "need",
                               need);
+      read_block_ns_->observe(
+          static_cast<double>(task_.now() - blocked_from));
+      if (escalated) read_escalated_->inc();
+      if (degraded_here) read_degraded_->inc();
     }
+  } else if (!was_fresh && read_queued_ != nullptr) {
+    // Served without blocking, but only because poll() drained an update
+    // already queued in the mailbox — the "queued" slice of read latency.
+    read_queued_->inc();
   }
   if (v.valid && v.iteration >= need) v.degraded = false;
   const auto staleness = static_cast<double>(curr_iter - v.iteration);
   staleness_mine_->observe(staleness);
   staleness_hist_->observe(staleness);
+  if (v.flow != 0 && obs_ != nullptr) {
+    // Terminate the causal arrow at the consuming read: bind-enclosing 'f'
+    // on this task's track, carrying the read's observed age so the trace
+    // can be cross-checked against the DSM's own staleness accounting.
+    // One read consumes the arrow; later re-reads of the same copy add no
+    // flow events.
+    obs_->tracer().flow_end(task_.id(), "dsm.flow", task_.now(), v.flow,
+                            "age", curr_iter - v.iteration, "iter",
+                            v.iteration);
+    v.flow = 0;
+  }
   if (san_ != nullptr) {
     san_->audit_read(task_.id(), loc, curr_iter, age, v.valid, v.degraded,
                      v.iteration, v.valid ? v.data.crc32() : 0, task_.now());

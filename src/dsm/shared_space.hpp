@@ -162,6 +162,11 @@ class SharedSpace {
     /// never-written location can come back degraded AND !valid — callers
     /// must still check valid.
     bool degraded = false;
+    /// Causal-flow id of the update that produced this copy (0 = none /
+    /// locally written / already consumed).  The first global_read that
+    /// returns the copy emits the flow's 'f' end and clears it, so each
+    /// write → read arrow terminates at exactly one read.
+    std::uint64_t flow = 0;
   };
 
   /// Writer side: store locally with the iteration stamp and propagate to
@@ -211,19 +216,30 @@ class SharedSpace {
       bool has_pending = false;
       Iteration pending_iteration = -1;
       rt::Packet pending_value;
+      /// Flow id of the stashed pending value (coalescing): the arrow begun
+      /// at the write travels with whichever value is eventually forwarded.
+      std::uint64_t pending_flow = 0;
     };
     std::map<int, PerReader> per_reader;
   };
 
-  void apply_update(rt::Packet& payload);
+  void apply_update(rt::Message& msg);
   void serve_request(rt::Packet& payload, int from);
   void drain_requests();
   void send_update(LocationId loc, int reader, Iteration iteration,
                    const rt::Packet& value, bool charge_cpu,
-                   rt::Reliability reliability = rt::Reliability::kAuto);
+                   rt::Reliability reliability = rt::Reliability::kAuto,
+                   std::uint64_t flow = 0);
   void on_update_settled(LocationId loc, int reader, bool delivered);
   void send_demand(LocationId loc, Iteration need);
   [[nodiscard]] sim::Time next_backoff(sim::Time budget);
+  /// True when causal-flow tracing is on for this machine (--flow-trace):
+  /// gates flow-id allocation so untraced runs never touch the id counter.
+  [[nodiscard]] bool flows_on() const noexcept {
+    return obs_ != nullptr && obs_->tracer().flows_enabled();
+  }
+  /// Begin a new write → read flow on this task's track; returns the id.
+  [[nodiscard]] std::uint64_t begin_flow(LocationId loc, Iteration iteration);
 
   rt::Task& task_;
   PropagationPolicy policy_;
@@ -233,6 +249,15 @@ class SharedSpace {
   obs::Hub* obs_ = nullptr;
   obs::Gauge* blocked_readers_ = nullptr;
   obs::Gauge* inflight_updates_ = nullptr;
+  /// Per-read outcome breakdown (machine-wide; the trace has the per-task
+  /// detail): how each global_read was served — from updates already queued
+  /// in the mailbox, after blocking, after a watchdog escalation, or
+  /// degraded by a dead writer — plus the blocked-wait duration histogram.
+  obs::Counter* read_queued_ = nullptr;
+  obs::Counter* read_blocked_ = nullptr;
+  obs::Counter* read_escalated_ = nullptr;
+  obs::Counter* read_degraded_ = nullptr;
+  obs::Histogram* read_block_ns_ = nullptr;
   /// Staleness histograms live in the registry unconditionally (the hub's
   /// registry always exists; only tracing is gated on activity) — they ARE
   /// the DsmStats accounting, not a parallel copy of it.

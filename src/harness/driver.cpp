@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "harness/report.hpp"
 #include "harness/run_config.hpp"
 #include "harness/workload.hpp"
 #include "obs/obs.hpp"
@@ -45,7 +46,11 @@ int drive(int argc, char** argv, const DriveOptions& options) {
       .add_enum("sanitize", "off", {"off", "track", "strict"},
                 "staleness sanitizer: audit every DSM read against the "
                 "workload's tolerance contract (strict exits nonzero on any "
-                "violation)");
+                "violation)")
+      .add_string("report-out", "",
+                  "write an end-of-run JSON report (nscc-run-report-v1: "
+                  "every row's completion/staleness/sanitizer/recovery "
+                  "counters) here; empty disables");
   obs::add_flags(flags);
   fault::add_flags(flags);
   workload->register_params(flags);
@@ -177,6 +182,20 @@ int drive(int argc, char** argv, const DriveOptions& options) {
   }
   table.print(std::cout);
   if (!options.epilogue.empty()) std::cout << '\n' << options.epilogue << '\n';
+
+  // Written before the deadlock/sanitize exit checks below on purpose: a
+  // failing run's report is exactly the artifact CI wants to upload.
+  if (const std::string report_path = flags.get_string("report-out");
+      !report_path.empty()) {
+    std::vector<ReportRow> report_rows;
+    report_rows.reserve(rows.size());
+    for (const auto& row : rows) {
+      report_rows.push_back({row.scenario, row.variant, row.stats});
+    }
+    if (!write_run_report(report_path, options.workload, report_rows)) {
+      return 2;
+    }
+  }
 
   // A deadlocked run is a wedged experiment, not a data point: fail loudly
   // so scripts and CI cannot mistake the table for a healthy result.

@@ -6,60 +6,12 @@
 #include <iostream>
 
 #include "util/flags.hpp"
+#include "util/json_writer.hpp"
 
 namespace nscc::harness {
 
-namespace {
-
-void append_escaped(std::string& out, const std::string& s) {
-  out += '"';
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-}
-
-void append_number(std::string& out, double v) {
-  // JSON has no NaN/Inf; a diverged metric serialises as null.
-  if (!std::isfinite(v)) {
-    out += "null";
-    return;
-  }
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  out += buf;
-}
-
-void append_object(std::string& out,
-                   const std::vector<std::pair<std::string, double>>& fields) {
-  out += '{';
-  bool first = true;
-  for (const auto& [name, value] : fields) {
-    if (!first) out += ", ";
-    first = false;
-    append_escaped(out, name);
-    out += ": ";
-    append_number(out, value);
-  }
-  out += '}';
-}
-
-}  // namespace
+using util::jsonw::append_escaped;
+using util::jsonw::append_object;
 
 void Sweep::add_flags(util::Flags& flags) {
   flags.add_string("json-out", "",
@@ -72,7 +24,7 @@ void Sweep::configure(const util::Flags& flags) {
 }
 
 std::string Sweep::to_json() const {
-  std::string out = "{\n  \"schema\": \"nscc-bench-v2\",\n  \"bench\": ";
+  std::string out = "{\n  \"schema\": \"nscc-bench-v3\",\n  \"bench\": ";
   append_escaped(out, bench_);
   out += ",\n  \"results\": [";
   bool first = true;

@@ -80,7 +80,7 @@ bool SharedBus::transmit(int src, int dst, std::uint32_t payload_bytes,
   if (start > now) {
     ++pending_;
     stats_.pending_high_water = std::max(stats_.pending_high_water, pending_);
-    engine_.schedule(start, [this] { --pending_; });
+    engine_.schedule(start, obs::EventKind::kNetwork, [this] { --pending_; });
   }
 
   // Fault judgement: a lost frame has already occupied the medium (wire
@@ -118,23 +118,25 @@ bool SharedBus::transmit(int src, int dst, std::uint32_t payload_bytes,
   }
 
   if (lost) {
-    engine_.schedule(delivered_at, [cb = std::move(outcome), delivered_at] {
-      cb(delivered_at, false, 0);
-    });
+    engine_.schedule(delivered_at, obs::EventKind::kNetwork,
+                     [cb = std::move(outcome), delivered_at] {
+                       cb(delivered_at, false, 0);
+                     });
     return true;
   }
   if (dup_at > 0) {
     // Two deliveries share one callback; copyable std::function allows it.
     // Only the original carries the damage: the duplicate models a
     // link-level retransmit whose second copy arrived intact.
-    engine_.schedule(delivered_at, [cb = outcome, delivered_at, corrupt_seed] {
-      cb(delivered_at, true, corrupt_seed);
-    });
-    engine_.schedule(
-        dup_at, [cb = std::move(outcome), dup_at] { cb(dup_at, true, 0); });
+    engine_.schedule(delivered_at, obs::EventKind::kNetwork,
+                     [cb = outcome, delivered_at, corrupt_seed] {
+                       cb(delivered_at, true, corrupt_seed);
+                     });
+    engine_.schedule(dup_at, obs::EventKind::kNetwork,
+                     [cb = std::move(outcome), dup_at] { cb(dup_at, true, 0); });
     return true;
   }
-  engine_.schedule(delivered_at,
+  engine_.schedule(delivered_at, obs::EventKind::kNetwork,
                    [cb = std::move(outcome), delivered_at, corrupt_seed] {
                      cb(delivered_at, true, corrupt_seed);
                    });

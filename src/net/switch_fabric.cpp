@@ -45,7 +45,7 @@ void SwitchFabric::transmit_observed(int src, int dst,
   stats_.tx_busy_time += wire;
 
   if (tracer_ != nullptr && tracer_->enabled()) {
-    tracer_->complete(obs::kSwitchTrackBase + src, "switch.tx", tx_start, wire,
+    tracer_->complete(track_base_ + src, "switch.tx", tx_start, wire,
                       "dst", dst, "bytes", payload_bytes);
   }
 
@@ -64,10 +64,10 @@ void SwitchFabric::transmit_observed(int src, int dst,
     if (verdict.duplicate) dup_at = delivered_at + verdict.duplicate_delay;
     if (tracer_ != nullptr && tracer_->enabled()) {
       if (verdict.drop) {
-        tracer_->instant(obs::kSwitchTrackBase + src, "fault.loss", now, "dst",
+        tracer_->instant(track_base_ + src, "fault.loss", now, "dst",
                          dst);
       } else if (verdict.corrupt_seed != 0) {
-        tracer_->instant(obs::kSwitchTrackBase + src, "fault.corrupt", now,
+        tracer_->instant(track_base_ + src, "fault.corrupt", now,
                          "dst", dst);
       }
     }
@@ -75,21 +75,23 @@ void SwitchFabric::transmit_observed(int src, int dst,
   }
 
   if (lost) {
-    engine_.schedule(delivered_at, [cb = std::move(outcome), delivered_at] {
-      cb(delivered_at, false, 0);
-    });
+    engine_.schedule(delivered_at, obs::EventKind::kNetwork,
+                     [cb = std::move(outcome), delivered_at] {
+                       cb(delivered_at, false, 0);
+                     });
     return;
   }
   if (dup_at > 0) {
     // As on the bus, only the original copy carries the damage.
-    engine_.schedule(delivered_at, [cb = outcome, delivered_at, corrupt_seed] {
-      cb(delivered_at, true, corrupt_seed);
-    });
-    engine_.schedule(
-        dup_at, [cb = std::move(outcome), dup_at] { cb(dup_at, true, 0); });
+    engine_.schedule(delivered_at, obs::EventKind::kNetwork,
+                     [cb = outcome, delivered_at, corrupt_seed] {
+                       cb(delivered_at, true, corrupt_seed);
+                     });
+    engine_.schedule(dup_at, obs::EventKind::kNetwork,
+                     [cb = std::move(outcome), dup_at] { cb(dup_at, true, 0); });
     return;
   }
-  engine_.schedule(delivered_at,
+  engine_.schedule(delivered_at, obs::EventKind::kNetwork,
                    [cb = std::move(outcome), delivered_at, corrupt_seed] {
                      cb(delivered_at, true, corrupt_seed);
                    });
@@ -98,8 +100,15 @@ void SwitchFabric::transmit_observed(int src, int dst,
 void SwitchFabric::set_tracer(obs::Tracer* tracer) noexcept {
   tracer_ = tracer;
   if (tracer_ != nullptr) {
+    // Claim a collision-free contiguous track range: with more processors
+    // than kSwitchTrackBase (or a second fabric on the same tracer) the
+    // preferred base may already be taken, and overlapping it would merge
+    // unrelated components onto one exported thread track.
+    track_base_ =
+        tracer_->claim_tracks(static_cast<int>(tx_busy_.size()),
+                              obs::kSwitchTrackBase);
     for (std::size_t p = 0; p < tx_busy_.size(); ++p) {
-      tracer_->set_track_name(obs::kSwitchTrackBase + static_cast<int>(p),
+      tracer_->set_track_name(track_base_ + static_cast<int>(p),
                               "switch.port" + std::to_string(p));
     }
   }

@@ -100,6 +100,10 @@ class SwitchFabric {
   sim::Engine& engine_;
   SwitchConfig config_;
   obs::Tracer* tracer_ = nullptr;
+  /// First track id of this fabric's per-port tracks, claimed from the
+  /// tracer in set_tracer() so multiple fabrics (or many processors) can
+  /// never collide with kSwitchTrackBase.
+  int track_base_ = obs::kSwitchTrackBase;
   fault::FaultInjector* injector_ = nullptr;
   DropHook drop_hook_;
   std::vector<sim::Time> tx_busy_;

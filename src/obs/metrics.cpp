@@ -24,6 +24,18 @@ void Histogram::observe(double v) noexcept {
   max_ = std::max(max_, v);
 }
 
+void Histogram::merge(const Histogram& other) noexcept {
+  if (other.count_ == 0) return;
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[static_cast<std::size_t>(i)] +=
+        other.buckets_[static_cast<std::size_t>(i)];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 double Histogram::bucket_upper(int i) noexcept {
   if (i <= 0) return 1.0;
   if (i >= kBuckets - 1) return std::numeric_limits<double>::infinity();

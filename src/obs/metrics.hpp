@@ -50,6 +50,10 @@ class Histogram {
 
   void observe(double v) noexcept;
 
+  /// Fold another histogram's buckets and moments into this one (exact:
+  /// both use the same fixed log2 bucket layout).
+  void merge(const Histogram& other) noexcept;
+
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
   [[nodiscard]] double sum() const noexcept { return sum_; }
   [[nodiscard]] double mean() const noexcept {

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "sim/time.hpp"
@@ -35,6 +36,14 @@ struct Options {
   sim::Time sample_interval = 50 * sim::kMillisecond;
   /// Trace ring-buffer capacity in events (oldest are dropped on overflow).
   std::size_t trace_capacity = 1 << 18;
+  /// Record causal flow events (write -> transit -> read arrows) in the
+  /// trace.  Implies tracing; costs several ring slots per DSM update, so
+  /// it is a separate opt-in on top of --trace-out.
+  bool flow_trace = false;
+  /// Run the engine self-profiler (wall-clock dispatch histograms,
+  /// events/sec, queue depth, allocations).  Wall-clock only: the simulated
+  /// results of a profiled run are byte-identical to an unprofiled one.
+  bool profile = false;
 };
 
 class Hub {
@@ -51,13 +60,18 @@ class Hub {
   [[nodiscard]] Registry& registry() noexcept { return registry_; }
   [[nodiscard]] Tracer& tracer() noexcept { return tracer_; }
   [[nodiscard]] Sampler& sampler() noexcept { return sampler_; }
+  [[nodiscard]] Profiler& profiler() noexcept { return profiler_; }
   [[nodiscard]] const Registry& registry() const noexcept { return registry_; }
   [[nodiscard]] const Tracer& tracer() const noexcept { return tracer_; }
   [[nodiscard]] const Sampler& sampler() const noexcept { return sampler_; }
+  [[nodiscard]] const Profiler& profiler() const noexcept { return profiler_; }
   [[nodiscard]] const Options& options() const noexcept { return options_; }
 
-  /// Write the configured outputs (trace JSON, metrics time series).
-  /// Returns false if any configured file could not be written.
+  /// Write the configured outputs (trace JSON, metrics time series).  When
+  /// the trace ring dropped events, publishes the count as the
+  /// "trace.dropped_events" counter and warns on stderr — a truncated trace
+  /// must never be mistaken for a complete one.  Returns false if any
+  /// configured file could not be written.
   bool finalize();
 
  private:
@@ -66,6 +80,7 @@ class Hub {
   Registry registry_;
   Tracer tracer_;
   Sampler sampler_;
+  Profiler profiler_;
 };
 
 /// Register the standard observability flags on a driver's flag set.

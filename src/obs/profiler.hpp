@@ -1,0 +1,104 @@
+// Engine self-profiler: where does *wall-clock* time go inside the DES run
+// loop?  Virtual time measures the modelled system; this measures the
+// simulator itself — per-event-kind dispatch-cost histograms, events/sec,
+// peak event-queue depth, and per-run heap-allocation counts — the numbers
+// ROADMAP item 2 ("make the simulator fast, and prove it") regresses on.
+//
+// Hot-path discipline mirrors the tracer's: when no Profiler is attached to
+// the engine, every hook is a single predicted null check; when attached,
+// record() is two loads, a histogram observe, and no allocation.  Wall-clock
+// readings never feed back into virtual time, so a profiled run's simulated
+// results are byte-identical to an unprofiled one.
+//
+// Allocation counting is process-wide: profiler.cpp replaces the global
+// operator new/delete with malloc/free wrappers that bump relaxed atomic
+// counters.  start_run() snapshots them; finish_run() reports the delta.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace nscc::obs {
+
+/// Coarse classification of engine events, tagged at schedule() time.
+enum class EventKind : std::uint8_t {
+  kGeneric = 0,  ///< Untagged schedule() calls (tests, app callbacks).
+  kProcess,      ///< Fiber resume/delay continuations.
+  kWatchdog,     ///< set_watchdog timers (retransmit, read escalation).
+  kNetwork,      ///< Bus/switch frame delivery and medium bookkeeping.
+  kTransport,    ///< Runtime-local delivery (self-sends, loopback).
+};
+inline constexpr int kEventKinds = 5;
+
+[[nodiscard]] const char* event_kind_name(EventKind k) noexcept;
+
+/// Process-wide heap-allocation counters (see operator new in profiler.cpp).
+struct AllocCounts {
+  std::uint64_t count = 0;
+  std::uint64_t bytes = 0;
+};
+[[nodiscard]] AllocCounts alloc_counts() noexcept;
+
+class Profiler {
+ public:
+  /// Mark the start of the measured region: snapshots the wall clock, the
+  /// process-wide allocation counters, and the engine's cumulative executed
+  /// event count (so nested or repeated runs report deltas).
+  void start_run(std::uint64_t events_executed = 0) noexcept;
+
+  /// Mark the end: `events_executed` is the engine's cumulative count (the
+  /// delta since start_run() is what events/sec is computed over).
+  void finish_run(std::uint64_t events_executed) noexcept;
+
+  /// One executed event of kind `k` that took `wall_ns` of host time.
+  void record(EventKind k, std::uint64_t wall_ns) noexcept {
+    dispatch_[static_cast<int>(k)].observe(static_cast<double>(wall_ns));
+  }
+
+  /// Queue depth after a push; tracks the high-water mark.
+  void note_queue_depth(std::uint64_t depth) noexcept {
+    if (depth > peak_queue_depth_) peak_queue_depth_ = depth;
+  }
+
+  [[nodiscard]] const Histogram& dispatch(EventKind k) const noexcept {
+    return dispatch_[static_cast<int>(k)];
+  }
+  /// Events executed between start_run() and finish_run().
+  [[nodiscard]] std::uint64_t events() const noexcept { return events_; }
+  [[nodiscard]] double wall_seconds() const noexcept { return wall_seconds_; }
+  [[nodiscard]] double events_per_sec() const noexcept {
+    return wall_seconds_ > 0.0 ? static_cast<double>(events_) / wall_seconds_
+                               : 0.0;
+  }
+  [[nodiscard]] std::uint64_t peak_queue_depth() const noexcept {
+    return peak_queue_depth_;
+  }
+  /// Heap allocations (count / bytes) between start_run() and finish_run().
+  [[nodiscard]] std::uint64_t allocations() const noexcept {
+    return allocations_;
+  }
+  [[nodiscard]] std::uint64_t alloc_bytes() const noexcept {
+    return alloc_bytes_;
+  }
+
+  /// Publish everything into a registry: "profiler.events_per_sec",
+  /// "profiler.wall_s", "profiler.events", "profiler.peak_queue_depth",
+  /// "profiler.allocations", "profiler.alloc_bytes", and one
+  /// "profiler.dispatch_ns.<kind>" histogram per event kind.
+  void flush(Registry& registry) const;
+
+ private:
+  Histogram dispatch_[kEventKinds];
+  std::uint64_t events_ = 0;
+  std::uint64_t events_at_start_ = 0;
+  double wall_seconds_ = 0.0;
+  std::uint64_t peak_queue_depth_ = 0;
+  std::uint64_t allocations_ = 0;
+  std::uint64_t alloc_bytes_ = 0;
+  AllocCounts allocs_at_start_;
+  std::int64_t wall_start_ns_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace nscc::obs

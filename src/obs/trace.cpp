@@ -1,5 +1,7 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
+#include <cassert>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -11,7 +13,40 @@ Tracer::Tracer(std::size_t capacity) {
 }
 
 void Tracer::set_track_name(int tid, std::string name) {
-  track_names_[tid] = std::move(name);
+  auto it = track_names_.find(tid);
+  if (it != track_names_.end()) {
+    if (it->second != name) {
+      // Two components claimed the same track id (e.g. a switch port base
+      // overlapping a processor id).  The exported trace would interleave
+      // their events under one thread — fail loudly in debug, keep the
+      // first registration and count the conflict in release.
+      assert(false && "Tracer: track id registered under two names");
+      ++track_collisions_;
+    }
+    return;  // Dedup: repeated identical registration is a no-op.
+  }
+  track_names_.emplace(tid, std::move(name));
+}
+
+int Tracer::claim_tracks(int count, int preferred_base) {
+  assert(count > 0);
+  int base = preferred_base;
+  auto conflicts = [this](int lo, int hi) -> int {
+    // Returns the first id past a conflict, or lo when the range is free.
+    for (const auto& [clo, chi] : claimed_) {
+      if (lo < chi && clo < hi) return chi;
+    }
+    auto it = track_names_.lower_bound(lo);
+    if (it != track_names_.end() && it->first < hi) return it->first + 1;
+    return lo;
+  };
+  for (;;) {
+    const int next = conflicts(base, base + count);
+    if (next == base) break;
+    base = next;
+  }
+  claimed_.emplace_back(base, base + count);
+  return base;
 }
 
 std::vector<Tracer::Event> Tracer::events() const {
@@ -90,6 +125,13 @@ std::string Tracer::to_chrome_json() const {
       ts_into(os, e.dur);
     }
     if (e.phase == 'i') os << R"(,"s":"t")";
+    if (e.phase == 's' || e.phase == 't' || e.phase == 'f') {
+      // Flow events need a category and the shared flow id; the end binds
+      // to the enclosing slice ("bp":"e") so Perfetto attaches the arrow
+      // head to whatever span the consumer was in.
+      os << R"(,"cat":"flow","id":)" << e.flow;
+      if (e.phase == 'f') os << R"(,"bp":"e")";
+    }
     if (e.a0_name != nullptr || e.a1_name != nullptr) {
       os << R"(,"args":{)";
       if (e.a0_name != nullptr) {
@@ -118,7 +160,10 @@ void Tracer::clear() noexcept {
   head_ = 0;
   count_ = 0;
   dropped_ = 0;
+  next_flow_ = 1;
+  track_collisions_ = 0;
   track_names_.clear();
+  claimed_.clear();
 }
 
 }  // namespace nscc::obs

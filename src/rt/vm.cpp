@@ -29,7 +29,7 @@ void Task::send(int dst, int tag, Packet payload) {
 
 void Task::send_observed(int dst, int tag, Packet payload,
                          std::function<void(bool)> on_settled,
-                         Reliability reliability) {
+                         Reliability reliability, std::uint64_t flow) {
   compute(vm_.config_.send_sw_overhead);
   // Transport backpressure: block while the socket-buffer window is full
   // (a flooding sender is throttled to the medium's drain rate).
@@ -49,7 +49,7 @@ void Task::send_observed(int dst, int tag, Packet payload,
                                static_cast<std::int64_t>(bytes));
   }
   if (!vm_.post(id_, dst, tag, std::move(payload), std::move(on_settled),
-                reliability)) {
+                reliability, flow)) {
     ++stats_.messages_dropped;
   }
 }
@@ -213,7 +213,7 @@ bool VirtualMachine::reliable_for(int tag, Reliability reliability) const {
 
 bool VirtualMachine::post(int src, int dst, int tag, Packet payload,
                           std::function<void(bool)> on_settled,
-                          Reliability reliability) {
+                          Reliability reliability, std::uint64_t flow) {
   assert(src >= 0 && src < size());
   assert(dst >= 0 && dst < size());
 
@@ -225,6 +225,7 @@ bool VirtualMachine::post(int src, int dst, int tag, Packet payload,
   st->msg.tag = tag;
   st->msg.payload = std::move(payload);
   st->msg.epoch = sender->epoch_;
+  st->msg.flow = flow;
   st->msg.sent_at = engine_.now();
   st->dst = dst;
   // ACKs have a fixed modelled wire size and are exempt from the sender
@@ -249,7 +250,8 @@ bool VirtualMachine::post(int src, int dst, int tag, Packet payload,
   if (dst == src) {
     // Local delivery: no wire time (and no faults or transport), still
     // ordered via an event.
-    engine_.schedule(engine_.now(), [this, st, sender] {
+    engine_.schedule(engine_.now(), obs::EventKind::kTransport,
+                     [this, st, sender] {
       st->msg.delivered_at = engine_.now();
       if (!st->window_released) {
         st->window_released = true;
@@ -385,6 +387,13 @@ void VirtualMachine::deliver_frame(const std::shared_ptr<TxState>& st,
   Message m = st->msg;  // Copy: fault duplicates may deliver a second time.
   if (damaged) m.payload = std::move(*damaged);
   m.delivered_at = at;
+  if (m.flow != 0) {
+    // Transit hop of a traced DSM update: the arrow touches the receiver's
+    // track at arrival time, between the producer's 's' and the consuming
+    // read's 'f'.
+    obs_.tracer().flow_step(st->dst, "dsm.flow", at, m.flow, "src",
+                            st->msg.src, "attempt", st->attempts);
+  }
   receiver->deliver(std::move(m));
   if (!st->reliable) settle(st, true);
   // Reliable frames settle when their ACK returns (or retransmission is
@@ -427,6 +436,13 @@ void VirtualMachine::arm_retx_timer(const std::shared_ptr<TxState>& st) {
         obs_.tracer().instant(st->msg.src, "rt.retx", engine_.now(), "dst",
                               st->dst, "seq",
                               static_cast<std::int64_t>(st->msg.seq));
+        if (st->msg.flow != 0) {
+          // Escalation hop: the flow arrow dips back to the sender's track
+          // at each retransmission, so a late read's latency visibly
+          // decomposes into retry rounds.
+          obs_.tracer().flow_step(st->msg.src, "dsm.flow.retx", engine_.now(),
+                                  st->msg.flow, "attempt", st->attempts);
+        }
         st->rto = static_cast<sim::Time>(static_cast<double>(st->rto) *
                                          config_.transport.backoff);
         transmit_frame(st);
@@ -516,6 +532,11 @@ VirtualMachine::VirtualMachine(MachineConfig config)
     };
     bus_.set_drop_hook(drop_hook);
     if (switch_) switch_->set_drop_hook(drop_hook);
+  }
+  if (config_.obs.profile) {
+    // Self-profiling: wall-clock per dispatched event, attributed by kind.
+    // Never touches virtual time, so profiled runs stay byte-identical.
+    engine_.set_profiler(&obs_.profiler());
   }
   if (obs_.active()) {
     engine_.set_tracer(&obs_.tracer());
@@ -609,6 +630,7 @@ void VirtualMachine::flush_stats() {
                                                  : 0.0);
   reg.counter("warp.samples").inc(warp_.samples());
   reg.counter("sim.events_executed").inc(engine_.events_executed());
+  if (engine_.profiler() != nullptr) engine_.profiler()->flush(reg);
   for (const auto& hook : flush_hooks_) hook();
 }
 
@@ -653,6 +675,9 @@ sim::Time VirtualMachine::run(sim::Time until) {
     }
   }
   for (const auto& hook : start_hooks_) hook();
+  if (obs::Profiler* prof = engine_.profiler(); prof != nullptr) {
+    prof->start_run(engine_.events_executed());
+  }
   // Stop once every task body has returned, even if non-task event sources
   // (e.g. a background load generator) would keep the queue non-empty.
   const sim::Time end = engine_.run(until, [this] {
@@ -661,6 +686,9 @@ sim::Time VirtualMachine::run(sim::Time until) {
     }
     return true;
   });
+  if (obs::Profiler* prof = engine_.profiler(); prof != nullptr) {
+    prof->finish_run(engine_.events_executed());
+  }
   if (obs_.active()) {
     flush_stats();
     obs_.sampler().sample_now(end);  // Final row at the completion time.

@@ -60,6 +60,11 @@ struct Message {
   /// crash-restart respawn.  Lets receivers tell a rejoined peer from the
   /// one that crashed.
   std::uint64_t epoch = 0;
+  /// Causal-flow id (obs::Tracer::new_flow); 0 = untraced.  The DSM stamps
+  /// one per propagated update so the exported trace draws the
+  /// write → transit → read arrow; it rides the message so transit hops
+  /// (delivery, retransmission) can emit flow steps on the right track.
+  std::uint64_t flow = 0;
   sim::Time sent_at = 0;       ///< When the sender handed it to the network.
   sim::Time delivered_at = 0;  ///< When it reached the receiver's mailbox.
 };
@@ -146,7 +151,8 @@ class Task {
   /// resend the newest pending value after a loss.
   void send_observed(int dst, int tag, Packet payload,
                      std::function<void(bool delivered)> on_settled,
-                     Reliability reliability = Reliability::kAuto);
+                     Reliability reliability = Reliability::kAuto,
+                     std::uint64_t flow = 0);
 
   /// Send to every other task (PVM mcast over Ethernet = serial sends).
   void broadcast(int tag, const Packet& payload);
@@ -220,10 +226,12 @@ class VirtualMachine {
   /// "daemon" uses it for deferred coalesced updates).  `on_settled` runs in
   /// engine context exactly once when the message's fate is decided — see
   /// Task::send_observed.  Returns false when the bus tail-dropped the
-  /// message and the transport will not retry it.
+  /// message and the transport will not retry it.  `flow` stamps the frame
+  /// with a causal-flow id (see Message::flow); 0 = untraced.
   bool post(int src, int dst, int tag, Packet payload,
             std::function<void(bool delivered)> on_settled = {},
-            Reliability reliability = Reliability::kAuto);
+            Reliability reliability = Reliability::kAuto,
+            std::uint64_t flow = 0);
 
   /// Tear a task's process down mid-run (crash with kStateful semantics):
   /// the fiber unwinds, its mailbox and wait flags are lost.  Transport/NIC

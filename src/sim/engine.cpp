@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <limits>
 #include <sstream>
@@ -25,7 +26,8 @@ void Process::delay(Time dt) {
   state_ = State::kBlocked;
   resume_scheduled_ = true;
   Process* self = this;
-  engine_.schedule(engine_.now() + dt, [self] { self->engine_.run_process(*self); });
+  engine_.schedule(engine_.now() + dt, obs::EventKind::kProcess,
+                   [self] { self->engine_.run_process(*self); });
   fiber_.yield();
 }
 
@@ -44,7 +46,8 @@ void Process::resume_at(Time t) {
   assert(t >= engine_.now());
   resume_scheduled_ = true;
   Process* self = this;
-  engine_.schedule(t, [self] { self->engine_.run_process(*self); });
+  engine_.schedule(t, obs::EventKind::kProcess,
+                   [self] { self->engine_.run_process(*self); });
 }
 
 Engine::~Engine() {
@@ -70,20 +73,23 @@ Process& Engine::spawn(std::string name, std::function<void(Process&)> body,
     tracer_->instant(obs::kEngineTrack, "spawn", now_, "pid", id);
   }
   p.resume_scheduled_ = true;
-  schedule(start, [this, &p] { run_process(p); });
+  schedule(start, obs::EventKind::kProcess, [this, &p] { run_process(p); });
   return p;
 }
 
-void Engine::schedule(Time t, std::function<void()> fn) {
+void Engine::schedule(Time t, obs::EventKind kind, std::function<void()> fn) {
   assert(t >= now_ && "cannot schedule an event in the virtual past");
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+  queue_.push(Event{t, next_seq_++, std::move(fn), kind});
   queue_drained_ = false;
+  if (profiler_ != nullptr) {
+    profiler_->note_queue_depth(queue_.size());
+  }
 }
 
 Engine::WatchdogId Engine::set_watchdog(Time t, std::function<void()> fn) {
   const WatchdogId id = next_watchdog_++;
   live_watchdogs_.insert(id);
-  schedule(t, [this, id, f = std::move(fn)] {
+  schedule(t, obs::EventKind::kWatchdog, [this, id, f = std::move(fn)] {
     if (live_watchdogs_.erase(id) != 0) f();
   });
   return id;
@@ -153,7 +159,8 @@ Time Engine::run(Time until, const std::function<bool()>& stop_when) {
       return now_;
     }
     // Move the callback out before popping so it survives execution.
-    Event ev{top.time, top.seq, std::move(const_cast<Event&>(top).fn)};
+    Event ev{top.time, top.seq, std::move(const_cast<Event&>(top).fn),
+             top.kind};
     queue_.pop();
     if (sampler_ != nullptr) {
       while (next_sample_at_ <= ev.time) {
@@ -168,7 +175,18 @@ Time Engine::run(Time until, const std::function<bool()>& stop_when) {
       tracer_->complete(obs::kEngineTrack, "dispatch", now_, 0, "seq",
                         static_cast<std::int64_t>(ev.seq));
     }
-    ev.fn();
+    if (profiler_ != nullptr) {
+      const auto t0 = std::chrono::steady_clock::now();
+      ev.fn();
+      const auto t1 = std::chrono::steady_clock::now();
+      profiler_->record(
+          ev.kind,
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                  .count()));
+    } else {
+      ev.fn();
+    }
     if (stop_when && stop_when()) return now_;
   }
   queue_drained_ = true;

@@ -21,6 +21,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/profiler.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "sim/fiber.hpp"
@@ -92,7 +93,13 @@ class Engine {
                  std::size_t stack_bytes = Fiber::kDefaultStackBytes);
 
   /// Schedule a plain event callback at virtual time `t` (>= now).
-  void schedule(Time t, std::function<void()> fn);
+  void schedule(Time t, std::function<void()> fn) {
+    schedule(t, obs::EventKind::kGeneric, std::move(fn));
+  }
+  /// Kind-tagged form: the attached Profiler attributes the event's
+  /// wall-clock dispatch cost to `kind` (network delivery, fiber resume,
+  /// watchdog, ...).  Identical virtual-time semantics.
+  void schedule(Time t, obs::EventKind kind, std::function<void()> fn);
 
   /// Watchdog-timer API: like schedule(), but cancelable.  A canceled
   /// watchdog's event still occupies the queue until `t` and then does
@@ -162,6 +169,14 @@ class Engine {
     next_sample_at_ = now_ + sampler_interval_;
   }
 
+  /// Attach a self-profiler (nullptr detaches).  When attached, the run
+  /// loop times every dispatched event with the host's steady clock and
+  /// attributes the cost to the event's kind, and schedule() tracks the
+  /// queue's high-water mark.  Wall-clock readings never enter virtual
+  /// time, so profiled runs stay byte-identical in simulated results.
+  void set_profiler(obs::Profiler* profiler) noexcept { profiler_ = profiler; }
+  [[nodiscard]] obs::Profiler* profiler() noexcept { return profiler_; }
+
  private:
   friend class Process;
 
@@ -169,6 +184,7 @@ class Engine {
     Time time;
     std::uint64_t seq;
     std::function<void()> fn;
+    obs::EventKind kind = obs::EventKind::kGeneric;
   };
   struct EventOrder {
     bool operator()(const Event& a, const Event& b) const noexcept {
@@ -191,6 +207,7 @@ class Engine {
   bool deadlock_reported_ = false;
   obs::Tracer* tracer_ = nullptr;
   obs::Sampler* sampler_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
   Time sampler_interval_ = 0;
   Time next_sample_at_ = 0;
 };

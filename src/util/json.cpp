@@ -1,0 +1,249 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace nscc::util::json {
+
+const Value* Value::find(const std::string& key) const noexcept {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string Value::string_or(const std::string& key,
+                             std::string fallback) const {
+  const Value* v = find(key);
+  return (v != nullptr && v->is_string()) ? v->string : std::move(fallback);
+}
+
+double Value::number_or(const std::string& key,
+                        double fallback) const noexcept {
+  const Value* v = find(key);
+  return (v != nullptr && v->is_number()) ? v->number : fallback;
+}
+
+namespace {
+
+/// Recursive-descent state over the whole input; depth-capped so a
+/// pathological document cannot blow the parser's own stack.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  std::optional<Value> run(std::string* error) {
+    Value v;
+    if (!parse_value(v)) {
+      emit_error(error);
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing garbage after document");
+      emit_error(error);
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool fail(const char* what) {
+    if (error_what_ == nullptr) {  // Keep the innermost (first) failure.
+      error_what_ = what;
+      error_pos_ = pos_;
+    }
+    return false;
+  }
+
+  void emit_error(std::string* error) const {
+    if (error == nullptr) return;
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "json: %s at byte %zu",
+                  error_what_ != nullptr ? error_what_ : "parse error",
+                  error_pos_);
+    *error = buf;
+  }
+
+  bool literal(const char* word, std::size_t len) {
+    if (text_.compare(pos_, len, word) != 0) return fail("invalid literal");
+    pos_ += len;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // Opening quote.
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) return fail("truncated escape");
+        const char esc = text_[pos_ + 1];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u':
+            // Preserved verbatim — the repo's writers only emit \u00XX for
+            // control bytes, which never appear in keys we compare on.
+            out += "\\u";
+            break;
+          default:
+            return fail("unknown escape");
+        }
+        pos_ += 2;
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      out += c;
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(Value& out) {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    out.number = std::strtod(start, &end);
+    if (end == start) return fail("invalid number");
+    pos_ += static_cast<std::size_t>(end - start);
+    out.type = Value::Type::kNumber;
+    return true;
+  }
+
+  bool parse_value(Value& out) {
+    if (depth_ > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return parse_object(out);
+      case '[':
+        return parse_array(out);
+      case '"':
+        out.type = Value::Type::kString;
+        return parse_string(out.string);
+      case 't':
+        out.type = Value::Type::kBool;
+        out.boolean = true;
+        return literal("true", 4);
+      case 'f':
+        out.type = Value::Type::kBool;
+        out.boolean = false;
+        return literal("false", 5);
+      case 'n':
+        out.type = Value::Type::kNull;
+        return literal("null", 4);
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return parse_number(out);
+        return fail("unexpected character");
+    }
+  }
+
+  bool parse_array(Value& out) {
+    out.type = Value::Type::kArray;
+    ++pos_;  // '['
+    ++depth_;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      --depth_;
+      return true;
+    }
+    for (;;) {
+      Value element;
+      if (!parse_value(element)) return false;
+      out.array.push_back(std::move(element));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        --depth_;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_object(Value& out) {
+    out.type = Value::Type::kObject;
+    ++pos_;  // '{'
+    ++depth_;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      --depth_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected object key");
+      }
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return fail("expected ':' after object key");
+      }
+      ++pos_;
+      Value member;
+      if (!parse_value(member)) return false;
+      out.object.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        --depth_;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  const char* error_what_ = nullptr;
+  std::size_t error_pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Value> parse(const std::string& text, std::string* error) {
+  return Parser(text).run(error);
+}
+
+}  // namespace nscc::util::json

@@ -1,0 +1,63 @@
+// Minimal JSON reader for the bench toolchain (nscc-bench-compare, run
+// reports): a recursive-descent parser producing a plain value tree.  This
+// is a *reader* for documents the repo itself emits (bench/schema.md) — it
+// accepts standard JSON (RFC 8259) but does not chase spec corners the
+// writers never produce (no \uXXXX surrogate-pair decoding: escapes are
+// preserved verbatim in the string value).  Writers stay hand-rolled
+// (harness/sweep.cpp) so emission never allocates a tree.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nscc::util::json {
+
+/// One parsed JSON value.  A tagged aggregate rather than a std::variant so
+/// call sites read flat (`v.number`, `v.object`), at the cost of a little
+/// unused storage per node — fine for bench-result sized documents.
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  /// Members in document order (duplicate keys keep every occurrence;
+  /// find() returns the first, matching common parser behaviour).
+  std::vector<std::pair<std::string, Value>> object;
+
+  [[nodiscard]] bool is_null() const noexcept { return type == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type == Type::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type == Type::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type == Type::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type == Type::kArray; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type == Type::kObject;
+  }
+
+  /// First member named `key`, or nullptr (also nullptr on non-objects).
+  [[nodiscard]] const Value* find(const std::string& key) const noexcept;
+
+  /// Member lookup that tolerates missing keys: returns the member's string
+  /// (resp. number) or the fallback when absent / wrong type.
+  [[nodiscard]] std::string string_or(const std::string& key,
+                                      std::string fallback) const;
+  [[nodiscard]] double number_or(const std::string& key,
+                                 double fallback) const noexcept;
+};
+
+/// Parse a complete JSON document.  Trailing whitespace is allowed, trailing
+/// garbage is an error.  On failure returns nullopt and, when `error` is
+/// non-null, stores a one-line message with the byte offset.
+std::optional<Value> parse(const std::string& text,
+                           std::string* error = nullptr);
+
+}  // namespace nscc::util::json

@@ -1,0 +1,135 @@
+// A minimal recursive-descent JSON syntax checker, enough for tests to
+// assert the exporters emit well-formed JSON (no third-party parser in the
+// image).  Shared by the observability/flow test binaries.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace nscc::test {
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool valid() {
+    i_ = 0;
+    return value() && (skip_ws(), i_ == s_.size());
+  }
+
+ private:
+  bool value() {
+    skip_ws();
+    if (i_ >= s_.size()) return false;
+    switch (s_[i_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool object() {
+    ++i_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++i_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++i_;
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++i_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++i_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++i_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++i_;
+      return true;
+    }
+    while (true) {
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++i_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++i_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++i_;
+    while (i_ < s_.size() && s_[i_] != '"') {
+      if (s_[i_] == '\\') ++i_;  // Skip the escaped character.
+      ++i_;
+    }
+    if (i_ >= s_.size()) return false;
+    ++i_;  // Closing quote.
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = i_;
+    if (peek() == '-') ++i_;
+    while (i_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[i_])) != 0 ||
+            s_[i_] == '.' || s_[i_] == 'e' || s_[i_] == 'E' || s_[i_] == '+' ||
+            s_[i_] == '-')) {
+      ++i_;
+    }
+    return i_ > start;
+  }
+
+  bool literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p, ++i_) {
+      if (i_ >= s_.size() || s_[i_] != *p) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] char peek() const { return i_ < s_.size() ? s_[i_] : '\0'; }
+  void skip_ws() {
+    while (i_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[i_])) != 0) {
+      ++i_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace nscc::test

@@ -1,0 +1,214 @@
+// Tests for the engine self-profiler: per-event-kind dispatch histograms,
+// events/sec and allocation deltas over start_run()/finish_run(), queue-depth
+// high-water mark, registry flush, Histogram::merge, and the engine
+// integration — every executed event lands in exactly one kind's histogram,
+// and a profiled run's *virtual* results are identical to an unprofiled one.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsm/shared_space.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "rt/vm.hpp"
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using nscc::obs::EventKind;
+using nscc::obs::Histogram;
+using nscc::obs::Profiler;
+using nscc::obs::Registry;
+using nscc::sim::kMicrosecond;
+using nscc::sim::kMillisecond;
+
+TEST(Profiler, EventKindNamesAreDistinct) {
+  const char* names[nscc::obs::kEventKinds] = {
+      nscc::obs::event_kind_name(EventKind::kGeneric),
+      nscc::obs::event_kind_name(EventKind::kProcess),
+      nscc::obs::event_kind_name(EventKind::kWatchdog),
+      nscc::obs::event_kind_name(EventKind::kNetwork),
+      nscc::obs::event_kind_name(EventKind::kTransport)};
+  for (int i = 0; i < nscc::obs::kEventKinds; ++i) {
+    ASSERT_NE(names[i], nullptr);
+    for (int j = i + 1; j < nscc::obs::kEventKinds; ++j) {
+      EXPECT_STRNE(names[i], names[j]);
+    }
+  }
+}
+
+TEST(Profiler, RecordAccountsPerKindExactly) {
+  Profiler p;
+  p.record(EventKind::kProcess, 100);
+  p.record(EventKind::kProcess, 300);
+  p.record(EventKind::kNetwork, 50);
+  EXPECT_EQ(p.dispatch(EventKind::kProcess).count(), 2u);
+  EXPECT_DOUBLE_EQ(p.dispatch(EventKind::kProcess).sum(), 400.0);
+  EXPECT_DOUBLE_EQ(p.dispatch(EventKind::kProcess).mean(), 200.0);
+  EXPECT_EQ(p.dispatch(EventKind::kNetwork).count(), 1u);
+  EXPECT_EQ(p.dispatch(EventKind::kGeneric).count(), 0u);
+  EXPECT_EQ(p.dispatch(EventKind::kWatchdog).count(), 0u);
+}
+
+TEST(Profiler, RunDeltasCoverEventsWallClockAndAllocations) {
+  Profiler p;
+  p.start_run(100);
+  // Burn a little host time and heap so the deltas are visibly nonzero.
+  std::vector<std::unique_ptr<std::string>> keep;
+  for (int i = 0; i < 64; ++i) {
+    keep.push_back(std::make_unique<std::string>(256, 'x'));
+  }
+  p.finish_run(250);
+  EXPECT_EQ(p.events(), 150u);  // Cumulative counts in, delta out.
+  EXPECT_GT(p.wall_seconds(), 0.0);
+  EXPECT_GT(p.events_per_sec(), 0.0);
+  EXPECT_GE(p.allocations(), 64u);
+  EXPECT_GE(p.alloc_bytes(), 64u * 256u);
+}
+
+TEST(Profiler, QueueDepthTracksHighWaterMark) {
+  Profiler p;
+  p.note_queue_depth(3);
+  p.note_queue_depth(17);
+  p.note_queue_depth(5);
+  EXPECT_EQ(p.peak_queue_depth(), 17u);
+}
+
+TEST(Profiler, FlushPublishesIntoRegistry) {
+  Profiler p;
+  p.start_run(0);
+  p.finish_run(10);
+  p.record(EventKind::kProcess, 200);
+  p.note_queue_depth(4);
+  Registry reg;
+  p.flush(reg);
+  EXPECT_EQ(reg.counter_value("profiler.events"), 10u);
+  EXPECT_EQ(reg.counter_value("profiler.peak_queue_depth"), 4u);
+  EXPECT_GT(reg.gauge_value("profiler.events_per_sec"), 0.0);
+  EXPECT_GT(reg.gauge_value("profiler.wall_s"), 0.0);
+  const Histogram* h = reg.find_histogram("profiler.dispatch_ns.process");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 1u);
+  EXPECT_DOUBLE_EQ(h->max(), 200.0);
+}
+
+TEST(Metrics, HistogramMergeCombinesEverything) {
+  Histogram a;
+  a.observe(1.0);
+  a.observe(100.0);
+  Histogram b;
+  b.observe(0.5);
+  b.observe(7.0);
+  b.observe(7.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_DOUBLE_EQ(a.sum(), 115.5);
+  EXPECT_DOUBLE_EQ(a.min(), 0.5);
+  EXPECT_DOUBLE_EQ(a.max(), 100.0);
+  // Merging an empty histogram changes nothing.
+  a.merge(Histogram{});
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_DOUBLE_EQ(a.min(), 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration.
+
+TEST(ProfilerEngine, EveryExecutedEventLandsInExactlyOneKind) {
+  Profiler prof;
+  nscc::sim::Engine engine;
+  engine.set_profiler(&prof);
+
+  constexpr int kDelays = 20;
+  engine.spawn("fiber", [](nscc::sim::Process& self) {
+    for (int i = 0; i < kDelays; ++i) {
+      self.delay(1 * kMicrosecond);
+    }
+  });
+  constexpr int kGenerics = 7;
+  for (int i = 0; i < kGenerics; ++i) {
+    engine.schedule(i * kMicrosecond, [] {});
+  }
+  // One watchdog that fires, one that is cancelled (a cancelled timer still
+  // occupies — and executes — a queue slot).
+  engine.set_watchdog(5 * kMicrosecond, [] {});
+  engine.cancel_watchdog(engine.set_watchdog(6 * kMicrosecond, [] {}));
+
+  prof.start_run(engine.events_executed());
+  engine.run();
+  prof.finish_run(engine.events_executed());
+
+  EXPECT_EQ(prof.dispatch(EventKind::kGeneric).count(),
+            static_cast<std::uint64_t>(kGenerics));
+  EXPECT_EQ(prof.dispatch(EventKind::kWatchdog).count(), 2u);
+  EXPECT_GE(prof.dispatch(EventKind::kProcess).count(),
+            static_cast<std::uint64_t>(kDelays));
+  std::uint64_t total = 0;
+  for (EventKind k : {EventKind::kGeneric, EventKind::kProcess,
+                      EventKind::kWatchdog, EventKind::kNetwork,
+                      EventKind::kTransport}) {
+    total += prof.dispatch(k).count();
+  }
+  EXPECT_EQ(total, prof.events());  // No event escapes classification.
+  EXPECT_GE(prof.peak_queue_depth(), 1u);
+}
+
+/// Run the standard two-task producer/consumer DSM scenario, optionally
+/// profiled, and report the virtual outcomes.
+struct VmOutcome {
+  nscc::sim::Time completion = 0;
+  std::uint64_t events = 0;
+  std::uint64_t applied = 0;
+};
+
+VmOutcome run_scenario(bool profile) {
+  nscc::rt::MachineConfig machine;
+  machine.ntasks = 2;
+  machine.obs.enable = true;
+  machine.obs.profile = profile;
+  nscc::rt::VirtualMachine vm(machine);
+  vm.add_task("producer", [](nscc::rt::Task& t) {
+    nscc::dsm::SharedSpace space(t);
+    space.declare_written(1, {1});
+    for (nscc::dsm::Iteration i = 0; i < 12; ++i) {
+      t.compute(20 * kMillisecond);
+      nscc::rt::Packet p;
+      p.pack_double(static_cast<double>(i));
+      space.write(1, i, std::move(p));
+    }
+  });
+  vm.add_task("consumer", [](nscc::rt::Task& t) {
+    nscc::dsm::SharedSpace space(t);
+    space.declare_read(1, 0);
+    for (nscc::dsm::Iteration i = 0; i < 12; ++i) {
+      (void)space.global_read(1, i, 3);
+      t.compute(2 * kMillisecond);
+    }
+  });
+  VmOutcome out;
+  out.completion = vm.run();
+  out.events = vm.obs().registry().counter_value("sim.events_executed");
+  out.applied = vm.obs().registry().counter_value("dsm.updates_applied", 1);
+  if (profile) {
+    // The profiler's registry flush must have landed alongside.
+    EXPECT_GT(vm.obs().registry().counter_value("profiler.events"), 0u);
+    EXPECT_GT(vm.obs().registry().gauge_value("profiler.events_per_sec"), 0.0);
+  } else {
+    EXPECT_EQ(vm.obs().registry().counter_value("profiler.events"), 0u);
+  }
+  return out;
+}
+
+TEST(ProfilerEngine, ProfiledRunIsVirtuallyIdenticalToUnprofiled) {
+  const VmOutcome off = run_scenario(false);
+  const VmOutcome on = run_scenario(true);
+  EXPECT_EQ(off.completion, on.completion);
+  EXPECT_EQ(off.events, on.events);
+  EXPECT_EQ(off.applied, on.applied);
+}
+
+}  // namespace
