@@ -26,6 +26,13 @@
 // (corruption-rate x age): frame CRCs must turn every damaged frame into
 // an ordinary loss, so each cell should match the loss table's shape and
 // the DSM quarantine counter should stay at zero.
+//
+// A fourth sweep makes the partition-tolerance argument: the cluster is
+// split into two halves for a scheduled window (partition-duration x age)
+// with quorum-gated membership and anti-entropy heal.  Neither half holds
+// the quorum, so both sides serve divergence-bounded degraded reads
+// instead of split-braining; at window end writers republish over the
+// reliable channel and every diverged location must reconcile.
 #include <algorithm>
 #include <iostream>
 #include <utility>
@@ -51,13 +58,20 @@ struct Cell {
   std::uint64_t degraded_reads = 0;
   std::uint64_t integrity_dropped = 0;
   std::uint64_t sanitize_violations = 0;
+  std::uint64_t partition_drops = 0;
+  std::uint64_t partition_stale_served = 0;
+  std::uint64_t heal_frames = 0;
+  std::uint64_t diverged_locations = 0;
+  std::uint64_t reconciled_locations = 0;
 };
 
 Cell run(double loss, long age, int demes, int generations,
          std::uint64_t seed, std::uint64_t fault_seed,
          nscc::sim::Time read_timeout,
          nscc::recovery::Policy policy = nscc::recovery::Policy::kNone,
-         const nscc::fault::Window* crash = nullptr, double corrupt = 0.0) {
+         const nscc::fault::Window* crash = nullptr, double corrupt = 0.0,
+         const nscc::fault::PartitionWindow* partition = nullptr,
+         double quorum = 0.0, bool heal = false) {
   nscc::ga::IslandConfig cfg;
   cfg.function_id = 1;
   cfg.mode = age == 0 ? nscc::dsm::Mode::kSynchronous
@@ -70,6 +84,8 @@ Cell run(double loss, long age, int demes, int generations,
   if (age > 0) cfg.propagation.read_timeout = read_timeout;
   cfg.recovery.policy = policy;
   cfg.recovery.checkpoint_interval = 100 * nscc::sim::kMillisecond;
+  cfg.recovery.quorum_fraction = quorum;
+  cfg.propagation.partition_heal = heal;
   // Corrupted sweeps exercise the whole integrity layer: transport frame
   // CRCs drop damaged frames as loss, and the DSM update checksum
   // quarantines anything that slips past.
@@ -83,6 +99,7 @@ Cell run(double loss, long age, int demes, int generations,
     plan.nodes[1].crashes.push_back(*crash);
     plan.crash_semantics = nscc::fault::CrashSemantics::kStateful;
   }
+  if (partition != nullptr) plan.partitions.push_back(*partition);
   nscc::rt::MachineConfig machine;
   machine.fault = plan;
   machine.transport.enabled = !plan.empty() || cfg.recovery.enabled();
@@ -98,6 +115,11 @@ Cell run(double loss, long age, int demes, int generations,
   cell.degraded_reads = r.degraded_reads;
   cell.integrity_dropped = r.integrity_dropped;
   cell.sanitize_violations = r.sanitize_violations;
+  cell.partition_drops = r.partition_drops;
+  cell.partition_stale_served = r.partition_stale_served;
+  cell.heal_frames = r.heal_frames;
+  cell.diverged_locations = r.diverged_locations;
+  cell.reconciled_locations = r.reconciled_locations;
   return cell;
 }
 
@@ -299,5 +321,84 @@ int main(int argc, char** argv) {
   std::cout << '\n';
   ctable.print(std::cout);
   if (flags.get_bool("csv")) std::cout << '\n' << ctable.to_csv();
+
+  // Partition sweep: the cluster splits into two halves for a scheduled
+  // window (duration x age), with quorum-gated membership and anti-entropy
+  // heal on.  Neither half holds a 5/8 quorum, so both sides serve
+  // divergence-bounded degraded reads instead of declaring each other dead;
+  // at window end the writers republish and every diverged location
+  // reconciles — `diverged` must equal `reconciled` in every cell.
+  const double part_start_s = 0.2 * base[1].completion_s;
+  const std::vector<double> part_durs_s = {0.1 * base[1].completion_s,
+                                           0.3 * base[1].completion_s};
+  const double kQuorum = 0.625;
+  nscc::fault::PartitionWindow split;
+  for (int node = 0; node < demes; ++node) {
+    if (node == 0) split.groups.assign(2, {});
+    split.groups[static_cast<std::size_t>(node < demes / 2 ? 0 : 1)]
+        .push_back(node);
+  }
+  nscc::util::Table ptable(
+      "Extension E4 - partition-and-heal (half split, quorum 5/8)");
+  ptable.columns({"split s", "variant", "completion s", "vs fault-free",
+                  "part drops", "stale served", "heal frames", "diverged",
+                  "reconciled"});
+  for (double dur_s : part_durs_s) {
+    split.window.start = static_cast<nscc::sim::Time>(
+        part_start_s * static_cast<double>(nscc::sim::kSecond));
+    split.window.end =
+        split.window.start +
+        static_cast<nscc::sim::Time>(dur_s *
+                                     static_cast<double>(nscc::sim::kSecond));
+    for (std::size_t i = 1; i < ages.size(); ++i) {
+      const long age = ages[i];
+      const Cell cell =
+          run(0.0, age, demes, generations, seed, fault_seed, read_timeout,
+              nscc::recovery::Policy::kDegraded, nullptr, 0.0, &split,
+              kQuorum, true);
+      const std::string label = "age" + std::to_string(age);
+      ptable.row()
+          .cell(nscc::util::format_double(dur_s, 2))
+          .cell(label + (cell.deadlocked ? " (DEADLOCK)" : ""))
+          .cell(cell.completion_s, 2)
+          .cell(cell.completion_s / base[i].completion_s, 3)
+          .cell(cell.partition_drops)
+          .cell(cell.partition_stale_served)
+          .cell(cell.heal_frames)
+          .cell(cell.diverged_locations)
+          .cell(cell.reconciled_locations);
+      nscc::harness::SweepRecord rec;
+      rec.workload = "ga.island";
+      rec.variant = "partial";
+      rec.age = age;
+      rec.seed = seed;
+      rec.repeat = 0;
+      rec.params = {{"part_start_s", part_start_s},
+                    {"part_dur_s", dur_s},
+                    {"quorum", kQuorum},
+                    {"heal", 1.0},
+                    {"demes", static_cast<double>(demes)},
+                    {"generations", static_cast<double>(generations)}};
+      rec.stats = {
+          {"completion_s", cell.completion_s},
+          {"vs_fault_free", cell.completion_s / base[i].completion_s},
+          {"partition_drops", static_cast<double>(cell.partition_drops)},
+          {"partition_stale_served",
+           static_cast<double>(cell.partition_stale_served)},
+          {"heal_frames", static_cast<double>(cell.heal_frames)},
+          {"diverged_locations",
+           static_cast<double>(cell.diverged_locations)},
+          {"reconciled_locations",
+           static_cast<double>(cell.reconciled_locations)},
+          {"quorum_parks", static_cast<double>(cell.recovery.quorum_parks)},
+          {"split_brain_declarations",
+           static_cast<double>(cell.recovery.split_brain_declarations)},
+          {"deadlocked", cell.deadlocked ? 1.0 : 0.0}};
+      sweep.add(std::move(rec));
+    }
+  }
+  std::cout << '\n';
+  ptable.print(std::cout);
+  if (flags.get_bool("csv")) std::cout << '\n' << ptable.to_csv();
   return sweep.write() ? 0 : 1;
 }

@@ -168,9 +168,19 @@ ParallelInferenceResult run_parallel_logic_sampling(
 
       dsm::PropagationPolicy prop{
           .read_timeout = config.propagation.read_timeout,
+          .partition_heal = config.propagation.partition_heal,
           .integrity = config.propagation.integrity};
       if (rc != nullptr) {
-        prop.writer_alive = [rcp = rc](int node) { return rcp->alive(node); };
+        if (rc->partitioned()) {
+          prop.writer_alive = [rcp = rc, me](int node) {
+            return rcp->alive(me, node);
+          };
+          prop.in_quorum = [rcp = rc, me] { return rcp->in_quorum(me); };
+        } else {
+          prop.writer_alive = [rcp = rc](int node) {
+            return rcp->alive(node);
+          };
+        }
         if (prop.read_timeout <= 0) prop.read_timeout = 50 * sim::kMillisecond;
       }
       dsm::SharedSpace space(task, prop);
@@ -762,11 +772,19 @@ ParallelInferenceResult run_parallel_logic_sampling(
     result.read_escalations += out.dsm.read_escalations;
     result.degraded_reads += out.dsm.degraded_reads;
     result.integrity_dropped += out.dsm.integrity_dropped;
+    result.partition_stale_served += out.dsm.partition_stale_served;
+    result.heal_frames += out.dsm.heal_frames;
+    result.diverged_locations += out.dsm.diverged_marks;
+    result.reconciled_locations += out.dsm.reconciled_marks;
     result.messages_sent += vm.task(p).stats().messages_sent;
     result.bytes_sent += vm.task(p).stats().bytes_sent;
     for (const QueryEstimate& est : out.estimates) {
       result.estimates.push_back(est);
     }
+  }
+  if (vm.fault_injector() != nullptr) {
+    result.partition_drops = vm.fault_injector()->stats().partition_drops +
+                             vm.fault_injector()->stats().blackhole_drops;
   }
   // Return estimates in the caller's query order, not partition order.
   std::vector<QueryEstimate> ordered;

@@ -108,6 +108,13 @@ struct ParallelInferenceResult {
   std::uint64_t degraded_reads = 0;
   /// Damaged DSM frames quarantined (integrity checking enabled only).
   std::uint64_t integrity_dropped = 0;
+  /// Partition diagnostics (zero unless the fault plan scheduled
+  /// partition/blackhole windows).
+  std::uint64_t partition_drops = 0;        ///< Frames cut by the split.
+  std::uint64_t partition_stale_served = 0; ///< Minority-side stale serves.
+  std::uint64_t heal_frames = 0;            ///< Anti-entropy republishes.
+  std::uint64_t diverged_locations = 0;     ///< Reader locations diverged.
+  std::uint64_t reconciled_locations = 0;   ///< Diverged marks later healed.
   /// Tolerance-contract violations flagged by the staleness sanitizer
   /// (zero when the machine runs with --sanitize=off).
   std::uint64_t sanitize_violations = 0;

@@ -51,6 +51,26 @@ SharedSpace::SharedSpace(rt::Task& task, PropagationPolicy policy)
   task_.set_tag_handler(rt::kDsmRequestTag, [this](rt::Message m) {
     serve_request(m.payload, m.src);
   });
+  // Anti-entropy heal: schedule one republish pass at the end of every
+  // scheduled partition/blackhole window.  Engine-context events guarded by
+  // the liveness token, so a task body that returns before the window ends
+  // leaves only no-ops behind.
+  if (policy_.partition_heal) {
+    const fault::FaultPlan& plan = task_.vm().config().fault;
+    std::vector<sim::Time> ends;
+    for (const auto& p : plan.partitions) ends.push_back(p.window.end);
+    for (const auto& h : plan.blackholes) ends.push_back(h.window.end);
+    std::sort(ends.begin(), ends.end());
+    ends.erase(std::unique(ends.begin(), ends.end()), ends.end());
+    sim::Engine& eng = task_.vm().engine();
+    for (const sim::Time end : ends) {
+      if (end <= eng.now()) continue;
+      std::weak_ptr<SharedSpace*> weak = alive_;
+      eng.schedule(end, [weak] {
+        if (auto self = weak.lock()) (*self)->heal_republish();
+      });
+    }
+  }
 }
 
 SharedSpace::~SharedSpace() {
@@ -74,6 +94,24 @@ SharedSpace::~SharedSpace() {
   reg.counter("dsm.read_escalations", pid).inc(stats_.read_escalations);
   reg.counter("dsm.degraded_reads", pid).inc(stats_.degraded_reads);
   reg.counter("dsm.integrity_dropped", pid).inc(stats_.integrity_dropped);
+  // Partition counters only when the machinery actually fired, so runs
+  // without partitions keep an unchanged metrics footprint.
+  if (stats_.partition_stale_served > 0) {
+    reg.counter("dsm.partition.stale_served", pid)
+        .inc(stats_.partition_stale_served);
+  }
+  if (stats_.heal_frames > 0) {
+    reg.counter("dsm.partition.heal_frames", pid).inc(stats_.heal_frames);
+  }
+  if (stats_.diverged_marks > 0) {
+    reg.counter("dsm.partition.diverged_locations", pid)
+        .inc(stats_.diverged_marks);
+    reg.counter("dsm.partition.reconciled_locations", pid)
+        .inc(stats_.reconciled_marks);
+  }
+  if (stats_.merges > 0) {
+    reg.counter("dsm.partition.merges", pid).inc(stats_.merges);
+  }
 }
 
 void SharedSpace::declare_written(LocationId loc, std::vector<int> readers) {
@@ -197,6 +235,7 @@ void SharedSpace::write(LocationId loc, Iteration iteration, rt::Packet value) {
   mine.iteration = iteration;
   mine.valid = true;
   mine.data = value;
+  mine.epoch = task_.epoch();
   if (san_ != nullptr) {
     san_->record_write(task_.id(), loc, iteration, mine.data.crc32(),
                        mine.data.byte_size(), task_.now());
@@ -282,6 +321,7 @@ void SharedSpace::apply_update(rt::Message& msg) {
     // The applied copy carries its update's flow; a superseded copy's
     // unconsumed flow simply ends nowhere (the value was never read).
     v.flow = msg.flow;
+    v.epoch = msg.epoch;
     ++stats_.updates_applied;
     if (obs_ != nullptr) {
       obs_->tracer().instant(task_.id(), "dsm.update.apply", task_.now(),
@@ -293,12 +333,70 @@ void SharedSpace::apply_update(rt::Message& msg) {
                                  msg.flow, "loc", loc, "iter", iteration);
       }
     }
+    maybe_reconcile(loc, iteration);
+  } else if (policy_.merge && v.valid && iteration == v.iteration) {
+    // Concurrent copies of the same iteration (both sides of a split wrote
+    // it independently): the workload's commutative merge composes them
+    // instead of newest-wins dropping one side's contribution.
+    data.rewind();
+    v.data.rewind();
+    v.data = policy_.merge(loc, v.data, data);
+    v.epoch = std::max(v.epoch, msg.epoch);
+    ++stats_.merges;
+    if (obs_ != nullptr) {
+      obs_->tracer().instant(task_.id(), "dsm.update.merge", task_.now(),
+                             "loc", loc, "iter", iteration);
+    }
+    maybe_reconcile(loc, iteration);
   } else {
     ++stats_.updates_stale_dropped;
     if (obs_ != nullptr) {
       obs_->tracer().instant(task_.id(), "dsm.update.stale", task_.now(),
                              "loc", loc, "iter", iteration);
     }
+  }
+}
+
+void SharedSpace::mark_diverged(LocationId loc, Iteration need) {
+  const auto [it, inserted] = diverged_.emplace(loc, need);
+  if (inserted) {
+    ++stats_.diverged_marks;
+  } else {
+    it->second = std::max(it->second, need);
+  }
+}
+
+void SharedSpace::maybe_reconcile(LocationId loc, Iteration iteration) {
+  const auto it = diverged_.find(loc);
+  if (it == diverged_.end() || iteration < it->second) return;
+  diverged_.erase(it);
+  ++stats_.reconciled_marks;
+  if (obs_ != nullptr) {
+    obs_->tracer().instant(task_.id(), "dsm.partition.reconcile", task_.now(),
+                           "loc", loc, "iter", iteration);
+  }
+}
+
+void SharedSpace::heal_republish() {
+  // Engine context, at a partition-window end: push every valid written
+  // location to all its readers over the reliable channel.  Readers apply
+  // with the normal newest-wins rule (or the merge hook), so copies that
+  // diverged behind the cut catch up without waiting for the writer's next
+  // organic write.  Daemon-style posts: no CPU charge, no flow arrows.
+  for (auto& [loc, ws] : written_) {
+    const Value& mine = local_.at(loc);
+    if (!mine.valid) continue;
+    for (const int reader : ws.readers) {
+      if (reader == task_.id()) continue;
+      send_update(loc, reader, mine.iteration, mine.data,
+                  /*charge_cpu=*/false, rt::Reliability::kReliable);
+      ++stats_.heal_frames;
+    }
+  }
+  if (obs_ != nullptr) {
+    obs_->tracer().instant(task_.id(), "dsm.partition.heal", task_.now(),
+                           "locations",
+                           static_cast<std::int64_t>(written_.size()));
   }
 }
 
@@ -425,6 +523,11 @@ const SharedSpace::Value& SharedSpace::global_read(LocationId loc,
     // is subdivided into liveness_poll quanta so a writer declared dead
     // unblocks the reader with the freshest local copy, flagged degraded.
     const bool degradable = static_cast<bool>(policy_.writer_alive);
+    const bool quorum_gated = static_cast<bool>(policy_.in_quorum);
+    const sim::Time degrade_after = policy_.partition_degrade_after > 0
+                                        ? policy_.partition_degrade_after
+                                        : policy_.liveness_poll;
+    sim::Time no_quorum_since = 0;  // 0 = currently in quorum.
     const auto writer_it = read_from_.find(loc);
     const int writer = writer_it != read_from_.end() ? writer_it->second : -1;
     sim::Time budget = policy_.read_timeout;
@@ -434,14 +537,38 @@ const SharedSpace::Value& SharedSpace::global_read(LocationId loc,
         v.degraded = true;
         degraded_here = true;
         ++stats_.degraded_reads;
+        if (tracks_divergence() && v.valid) mark_diverged(loc, need);
         if (obs_ != nullptr) {
           obs_->tracer().instant(task_.id(), "dsm.read.degraded", task_.now(),
                                  "loc", loc, "need", need);
         }
         break;
       }
+      // Minority-side divergence bound: out of quorum the writer is only
+      // *suspected* (never declared dead), so the probe above stays true
+      // and the read would otherwise block to the horizon.  After
+      // degrade_after of continuous quorum loss, serve the freshest valid
+      // copy stale instead — bounded divergence rather than stalling the
+      // whole minority island.
+      if (quorum_gated && v.valid && !policy_.in_quorum()) {
+        if (no_quorum_since == 0) {
+          no_quorum_since = task_.now();
+        } else if (task_.now() - no_quorum_since >= degrade_after) {
+          v.degraded = true;
+          degraded_here = true;
+          ++stats_.partition_stale_served;
+          mark_diverged(loc, need);
+          if (obs_ != nullptr) {
+            obs_->tracer().instant(task_.id(), "dsm.read.stale_served",
+                                   task_.now(), "loc", loc, "need", need);
+          }
+          break;
+        }
+      } else {
+        no_quorum_since = 0;
+      }
       sim::Time quantum = remaining;
-      if (degradable) {
+      if (degradable || quorum_gated) {
         quantum = quantum > 0 ? std::min(quantum, policy_.liveness_poll)
                               : policy_.liveness_poll;
       }

@@ -99,6 +99,34 @@ struct PropagationPolicy {
   std::function<bool(int)> writer_alive;
   /// How often a blocked read re-checks writer_alive.
   sim::Time liveness_poll = 10 * sim::kMillisecond;
+  /// Quorum probe from the recovery subsystem for THIS node's membership
+  /// view.  When set and returning false, the node sits on the minority
+  /// side of a partition: a blocked Global_Read that stays out of quorum
+  /// for partition_degrade_after serves the freshest *valid* local copy
+  /// with Value::degraded set (counted as partition_stale_served) instead
+  /// of blocking to the horizon — the paper's age knob acting as a
+  /// divergence bound during the split.  Null = always in quorum.
+  /// Setting this (or partition_heal) also turns on divergence tracking:
+  /// every degraded serve marks its location diverged until an update
+  /// reaching the needed iteration reconciles it.
+  std::function<bool()> in_quorum;
+  /// Patience before a quorum-less blocked read serves stale (0 = one
+  /// liveness_poll).
+  sim::Time partition_degrade_after = 0;
+  /// Anti-entropy heal: at the end of every scheduled partition/blackhole
+  /// window in the machine's fault plan, re-publish each valid written
+  /// location to all its readers over the reliable channel (engine
+  /// context, no CPU charge).  Newest-version-wins is the cache's normal
+  /// apply rule, so healed copies reconcile diverged readers; frames sent
+  /// are counted in DsmStats::heal_frames.
+  bool partition_heal = false;
+  /// Commutative-merge hook for workloads whose divergent copies compose:
+  /// invoked when an incoming update carries the SAME iteration as the
+  /// valid local copy (which newest-wins would otherwise stale-drop);
+  /// returns the merged payload to install.  Null = drop-as-stale.
+  std::function<rt::Packet(LocationId, const rt::Packet& local,
+                           const rt::Packet& incoming)>
+      merge;
   /// End-to-end data integrity: stamp every propagated update with a CRC32
   /// of its payload and verify it at apply time.  A mismatch (damage the
   /// transport's frame check missed, or a frame check disabled for testing)
@@ -125,6 +153,11 @@ struct DsmStats {
   std::uint64_t read_escalations = 0;   ///< Watchdog-triggered demands.
   std::uint64_t degraded_reads = 0;     ///< Reads unblocked by a dead writer.
   std::uint64_t integrity_dropped = 0;  ///< Damaged/garbled frames quarantined.
+  std::uint64_t partition_stale_served = 0;  ///< Quorum-less stale serves.
+  std::uint64_t heal_frames = 0;        ///< Anti-entropy republish frames.
+  std::uint64_t diverged_marks = 0;     ///< Locations that served diverged.
+  std::uint64_t reconciled_marks = 0;   ///< Diverged marks later healed.
+  std::uint64_t merges = 0;             ///< Commutative-merge applications.
   /// Staleness (curr_iter - value iteration) of every global_read, as this
   /// task's "dsm.staleness" histogram in the machine's metrics registry.
   /// The registry is the single source of truth — the machine-wide
@@ -167,6 +200,10 @@ class SharedSpace {
     /// returns the copy emits the flow's 'f' end and clears it, so each
     /// write → read arrow terminates at exactly one read.
     std::uint64_t flow = 0;
+    /// Membership epoch of the incarnation that produced this copy (the
+    /// writer's task epoch, carried on every update).  A copy surviving a
+    /// split carries the pre-split epoch until heal republishes it.
+    std::uint64_t epoch = 0;
   };
 
   /// Writer side: store locally with the iteration stamp and propagate to
@@ -232,6 +269,16 @@ class SharedSpace {
                    std::uint64_t flow = 0);
   void on_update_settled(LocationId loc, int reader, bool delivered);
   void send_demand(LocationId loc, Iteration need);
+  /// Divergence bookkeeping: active when the policy carries a quorum probe
+  /// or partition healing (i.e. the run can actually split).
+  [[nodiscard]] bool tracks_divergence() const noexcept {
+    return policy_.partition_heal || static_cast<bool>(policy_.in_quorum);
+  }
+  void mark_diverged(LocationId loc, Iteration need);
+  void maybe_reconcile(LocationId loc, Iteration iteration);
+  /// Engine-context anti-entropy pass at a partition-window end: republish
+  /// every valid written location to all its readers, reliably.
+  void heal_republish();
   [[nodiscard]] sim::Time next_backoff(sim::Time budget);
   /// True when causal-flow tracing is on for this machine (--flow-trace):
   /// gates flow-id allocation so untraced runs never touch the id counter.
@@ -274,6 +321,11 @@ class SharedSpace {
   std::map<LocationId, Value> local_;          // Locations we read or wrote.
   std::map<LocationId, WriterState> written_;  // Locations we write.
   std::map<LocationId, int> read_from_;        // Location -> writer task.
+  /// Locations this reader served diverged (value older than the read's
+  /// need), keyed to the highest iteration still owed.  An applied or
+  /// merged update reaching the owed iteration reconciles the mark; marks
+  /// still present at destruction are unreconciled divergence.
+  std::map<LocationId, Iteration> diverged_;
   /// Jitter stream for the watchdog backoff; engaged only when the policy
   /// asks for jitter, so default runs draw nothing and stay byte-identical.
   std::optional<util::Xoshiro256> jitter_rng_;

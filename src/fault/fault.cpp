@@ -1,6 +1,7 @@
 #include "fault/fault.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "util/flags.hpp"
 
@@ -15,6 +16,26 @@ bool in_any(const std::vector<Window>& windows, sim::Time t) {
   return false;
 }
 
+/// Group index of `node` in a partition window's group list, -1 when the
+/// node is listed in no group (unlisted nodes are never isolated).
+int group_of(const PartitionWindow& p, int node) {
+  for (std::size_t g = 0; g < p.groups.size(); ++g) {
+    for (const int id : p.groups[g]) {
+      if (id == node) return static_cast<int>(g);
+    }
+  }
+  return -1;
+}
+
+/// True when the partition window isolates src from dst (both listed, in
+/// different groups).
+bool partition_cuts(const PartitionWindow& p, int src, int dst) {
+  const int gs = group_of(p, src);
+  if (gs < 0) return false;
+  const int gd = group_of(p, dst);
+  return gd >= 0 && gd != gs;
+}
+
 /// Latest `end` among windows containing t (0 when none does).
 sim::Time release_after(const std::vector<Window>& windows, sim::Time t) {
   sim::Time release = 0;
@@ -25,6 +46,30 @@ sim::Time release_after(const std::vector<Window>& windows, sim::Time t) {
 }
 
 }  // namespace
+
+bool FaultPlan::reachable(int a, int b, sim::Time t) const noexcept {
+  for (const PartitionWindow& p : partitions) {
+    if (p.window.contains(t) && partition_cuts(p, a, b)) return false;
+  }
+  for (const BlackholeWindow& h : blackholes) {
+    if (!h.window.contains(t)) continue;
+    if ((h.src == a && h.dst == b) || (h.src == b && h.dst == a)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+sim::Time FaultPlan::partition_release_after(sim::Time t) const noexcept {
+  sim::Time release = 0;
+  for (const PartitionWindow& p : partitions) {
+    if (p.window.contains(t)) release = std::max(release, p.window.end);
+  }
+  for (const BlackholeWindow& h : blackholes) {
+    if (h.window.contains(t)) release = std::max(release, h.window.end);
+  }
+  return release;
+}
 
 const LinkFaults& FaultInjector::link_for(int src, int dst) const {
   const auto it = plan_.per_link.find({src, dst});
@@ -43,6 +88,22 @@ FaultInjector::Verdict FaultInjector::judge(int src, int dst, sim::Time now,
     ++stats_.frames_lost;
     ++stats_.outage_drops;
     return v;
+  }
+  for (const PartitionWindow& p : plan_.partitions) {
+    if (p.window.contains(now) && partition_cuts(p, src, dst)) {
+      v.drop = true;
+      ++stats_.frames_lost;
+      ++stats_.partition_drops;
+      return v;
+    }
+  }
+  for (const BlackholeWindow& h : plan_.blackholes) {
+    if (h.src == src && h.dst == dst && h.window.contains(now)) {
+      v.drop = true;
+      ++stats_.frames_lost;
+      ++stats_.blackhole_drops;
+      return v;
+    }
   }
   for (const int node : {src, dst}) {
     const auto it = plan_.nodes.find(node);
@@ -163,7 +224,126 @@ void add_flags(util::Flags& flags) {
                   "(0 disables the crash window)")
       .add_double("crash-for", 1.0,
                   "length of the crash window in virtual seconds")
-      .add_int("crash-node", 1, "node id torn down at --crash-at");
+      .add_int("crash-node", 1, "node id torn down at --crash-at")
+      .add_string("partition-at", "",
+                  "scheduled group partition start:end:group-spec, times in "
+                  "virtual seconds, groups |-separated node lists "
+                  "(e.g. 0.2:0.6:0,1|2,3); empty disables")
+      .add_string("blackhole-at", "",
+                  "scheduled one-way link loss start:end:src:dst in virtual "
+                  "seconds (frames src->dst dropped, reverse untouched); "
+                  "empty disables");
+}
+
+namespace {
+
+/// Split on `sep` into non-empty trimless tokens; empty tokens are junk.
+std::vector<std::string> split_strict(const std::string& s, char sep,
+                                      const std::string& what) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (true) {
+    const std::size_t end = s.find(sep, begin);
+    const std::string tok = s.substr(begin, end - begin);
+    if (tok.empty()) {
+      throw std::invalid_argument("empty token in " + what + ": '" + s + "'");
+    }
+    out.push_back(tok);
+    if (end == std::string::npos) break;
+    begin = end + 1;
+  }
+  return out;
+}
+
+double parse_seconds(const std::string& tok, const std::string& what) {
+  std::size_t used = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(tok, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad number in " + what + ": '" + tok + "'");
+  }
+  if (used != tok.size() || v < 0.0) {
+    throw std::invalid_argument("bad number in " + what + ": '" + tok + "'");
+  }
+  return v;
+}
+
+int parse_node(const std::string& tok, const std::string& what) {
+  std::size_t used = 0;
+  int v = 0;
+  try {
+    v = std::stoi(tok, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad node id in " + what + ": '" + tok + "'");
+  }
+  if (used != tok.size()) {
+    throw std::invalid_argument("bad node id in " + what + ": '" + tok + "'");
+  }
+  return v;
+}
+
+Window parse_window(const std::string& start_tok, const std::string& end_tok,
+                    const std::string& what) {
+  const double start_s = parse_seconds(start_tok, what);
+  const double end_s = parse_seconds(end_tok, what);
+  if (end_s <= start_s) {
+    throw std::invalid_argument(what + " window must satisfy start < end");
+  }
+  return Window{static_cast<sim::Time>(start_s * sim::kSecond),
+                static_cast<sim::Time>(end_s * sim::kSecond)};
+}
+
+}  // namespace
+
+PartitionWindow parse_partition_spec(const std::string& spec) {
+  const std::string what = "--partition-at";
+  const auto parts = split_strict(spec, ':', what);
+  if (parts.size() != 3) {
+    throw std::invalid_argument(what + " wants start:end:group-spec, got '" +
+                                spec + "'");
+  }
+  PartitionWindow p;
+  p.window = parse_window(parts[0], parts[1], what);
+  for (const std::string& group : split_strict(parts[2], '|', what)) {
+    std::vector<int> ids;
+    for (const std::string& tok : split_strict(group, ',', what)) {
+      ids.push_back(parse_node(tok, what));
+    }
+    p.groups.push_back(std::move(ids));
+  }
+  if (p.groups.size() < 2) {
+    throw std::invalid_argument(what +
+                                " needs at least two |-separated groups");
+  }
+  std::vector<int> seen;
+  for (const auto& group : p.groups) {
+    for (const int id : group) {
+      if (std::find(seen.begin(), seen.end(), id) != seen.end()) {
+        throw std::invalid_argument(what + " lists node " +
+                                    std::to_string(id) + " twice");
+      }
+      seen.push_back(id);
+    }
+  }
+  return p;
+}
+
+BlackholeWindow parse_blackhole_spec(const std::string& spec) {
+  const std::string what = "--blackhole-at";
+  const auto parts = split_strict(spec, ':', what);
+  if (parts.size() != 4) {
+    throw std::invalid_argument(what + " wants start:end:src:dst, got '" +
+                                spec + "'");
+  }
+  BlackholeWindow h;
+  h.window = parse_window(parts[0], parts[1], what);
+  h.src = parse_node(parts[2], what);
+  h.dst = parse_node(parts[3], what);
+  if (h.src == h.dst) {
+    throw std::invalid_argument(what + " src and dst must differ");
+  }
+  return h;
 }
 
 FaultPlan plan_from_flags(const util::Flags& flags) {
@@ -182,6 +362,14 @@ FaultPlan plan_from_flags(const util::Flags& flags) {
     // down, not just its links.  (Plans built in code default to kLossy so
     // pre-recovery behaviour stays byte-identical.)
     plan.crash_semantics = CrashSemantics::kStateful;
+  }
+  if (const std::string& spec = flags.get_string("partition-at");
+      !spec.empty()) {
+    plan.partitions.push_back(parse_partition_spec(spec));
+  }
+  if (const std::string& spec = flags.get_string("blackhole-at");
+      !spec.empty()) {
+    plan.blackholes.push_back(parse_blackhole_spec(spec));
   }
   return plan;
 }

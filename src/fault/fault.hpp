@@ -24,6 +24,13 @@
 //                   frame; large values reorder frames;
 //   * outage      — a scheduled window in which every frame on the medium
 //                   is lost (cable pulled, switch rebooting);
+//   * partition   — a scheduled window in which the nodes are split into
+//                   groups; frames between nodes in different groups are
+//                   lost, traffic inside a group flows normally (a failed
+//                   inter-switch uplink);
+//   * blackhole   — a scheduled per-link one-way loss window (A→B dead
+//                   while B→A still delivers: the half-open failure that
+//                   fools naive ping-based detectors);
 //   * crash       — frames to or from the node are lost while it is down;
 //   * pause       — frames to the node are held and delivered when the
 //                   window ends (the node stops draining its NIC);
@@ -34,6 +41,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -76,6 +84,26 @@ struct NodeFaults {
   double slowdown = 1.0;        ///< Latency factor applied inside `slow`.
 };
 
+/// A scheduled split of the node set into isolated groups.  While the
+/// window is open a frame whose src and dst sit in *different listed
+/// groups* is dropped; frames inside one group, and frames involving a
+/// node listed in no group (including the -1 anonymous background-load
+/// source), are untouched.  Like outages these are scheduled faults:
+/// judging them consumes no randomness, so adding a partition to a plan
+/// leaves the stochastic draw stream of every surviving frame aligned.
+struct PartitionWindow {
+  Window window;
+  std::vector<std::vector<int>> groups;  ///< Node ids per isolated group.
+};
+
+/// A scheduled one-way per-link loss window: frames src→dst are dropped
+/// while it is open, the reverse direction is untouched.
+struct BlackholeWindow {
+  int src = 0;
+  int dst = 0;
+  Window window;
+};
+
 /// What a crash window does to the victim beyond silencing its links.
 enum class CrashSemantics {
   /// Links drop while the window is open but the node keeps computing with
@@ -103,6 +131,10 @@ struct FaultPlan {
   /// schedule expressed as an outage (corruption caught by a frame CRC
   /// must behave exactly as loss).
   std::vector<Window> corrupt_windows;
+  /// Scheduled group partitions (see PartitionWindow).
+  std::vector<PartitionWindow> partitions;
+  /// Scheduled one-way per-link loss windows.
+  std::vector<BlackholeWindow> blackholes;
   std::map<int, NodeFaults> nodes;    ///< Keyed by node/task id.
   /// How crash windows treat the victim's process state.  kLossy keeps the
   /// pre-recovery behaviour byte-identical; kStateful destroys the fiber.
@@ -110,8 +142,25 @@ struct FaultPlan {
 
   [[nodiscard]] bool empty() const noexcept {
     return !link.any() && per_link.empty() && outages.empty() &&
-           corrupt_windows.empty() && nodes.empty();
+           corrupt_windows.empty() && partitions.empty() &&
+           blackholes.empty() && nodes.empty();
   }
+
+  /// True while any partition or blackhole window is scheduled — the
+  /// signal for per-node membership views and anti-entropy healing.
+  [[nodiscard]] bool partitionable() const noexcept {
+    return !partitions.empty() || !blackholes.empty();
+  }
+
+  /// True when `a` and `b` can exchange frames in *both* directions at
+  /// time `t` under the scheduled partition/blackhole windows (stochastic
+  /// faults and outages are ignored — this answers reachability of the
+  /// scheduled topology, which is what rejoin gating needs).
+  [[nodiscard]] bool reachable(int a, int b, sim::Time t) const noexcept;
+
+  /// Latest end of any partition/blackhole window containing `t`
+  /// (0 when none does).
+  [[nodiscard]] sim::Time partition_release_after(sim::Time t) const noexcept;
 };
 
 struct FaultStats {
@@ -119,6 +168,8 @@ struct FaultStats {
   std::uint64_t frames_lost = 0;       ///< All losses (random + outage + crash).
   std::uint64_t outage_drops = 0;      ///< Subset of frames_lost.
   std::uint64_t crash_drops = 0;       ///< Subset of frames_lost.
+  std::uint64_t partition_drops = 0;   ///< Subset of frames_lost.
+  std::uint64_t blackhole_drops = 0;   ///< Subset of frames_lost.
   std::uint64_t frames_duplicated = 0;
   std::uint64_t frames_delayed = 0;    ///< Jitter, pause holds, and slowdowns.
   std::uint64_t frames_corrupted = 0;  ///< Delivered with damaged payload.
@@ -177,13 +228,25 @@ struct CorruptionEffect {
                                                  std::size_t payload_bytes);
 
 /// Register the standard fault flags (--loss-rate, --corrupt-rate,
-/// --fault-seed, --read-timeout-ms) on a driver's flag set; like every
-/// util::Flags entry they honour the NSCC_* environment overrides.
+/// --fault-seed, --read-timeout-ms, --partition-at, --blackhole-at) on a
+/// driver's flag set; like every util::Flags entry they honour the NSCC_*
+/// environment overrides.
 void add_flags(util::Flags& flags);
 
 /// Build a plan from flags registered by add_flags(): a uniform per-frame
-/// loss probability on every link, deterministically seeded.
+/// loss probability on every link, deterministically seeded.  Throws
+/// std::invalid_argument on a malformed --partition-at / --blackhole-at
+/// spec (drivers turn that into their flag-error exit).
 [[nodiscard]] FaultPlan plan_from_flags(const util::Flags& flags);
+
+/// Parse one `start:end:group-spec` partition window, where group-spec is
+/// `|`-separated groups of `,`-separated node ids (e.g. `0.2:0.6:0,1|2,3`)
+/// and times are virtual seconds.  Throws std::invalid_argument on junk.
+[[nodiscard]] PartitionWindow parse_partition_spec(const std::string& spec);
+
+/// Parse one `start:end:src:dst` one-way blackhole window (virtual
+/// seconds).  Throws std::invalid_argument on junk.
+[[nodiscard]] BlackholeWindow parse_blackhole_spec(const std::string& spec);
 
 /// The --read-timeout-ms flag as a virtual-time budget (0 = watchdog off).
 [[nodiscard]] sim::Time read_timeout_from_flags(const util::Flags& flags);

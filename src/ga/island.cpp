@@ -115,7 +115,15 @@ IslandResult run_island_ga(const IslandConfig& config,
       }
       recovery::Coordinator* rc = coord.get();
       if (rc != nullptr) {
-        prop.writer_alive = [rc](int node) { return rc->alive(node); };
+        if (rc->partitioned()) {
+          // Per-node membership: this deme judges peers from the
+          // heartbeats it received, and degrades (never declares) while
+          // it cannot hear a quorum.
+          prop.writer_alive = [rc, d](int node) { return rc->alive(d, node); };
+          prop.in_quorum = [rc, d] { return rc->in_quorum(d); };
+        } else {
+          prop.writer_alive = [rc](int node) { return rc->alive(node); };
+        }
         // Rejoin liveness needs the starvation watchdog: a restarted deme's
         // empty cache is only refilled promptly by explicit demands (peers
         // blocked on *it* cannot be publishing meanwhile).
@@ -313,6 +321,18 @@ IslandResult run_island_ga(const IslandConfig& config,
         outcomes[static_cast<std::size_t>(d)].dsm.degraded_reads;
     result.integrity_dropped +=
         outcomes[static_cast<std::size_t>(d)].dsm.integrity_dropped;
+    result.partition_stale_served +=
+        outcomes[static_cast<std::size_t>(d)].dsm.partition_stale_served;
+    result.heal_frames +=
+        outcomes[static_cast<std::size_t>(d)].dsm.heal_frames;
+    result.diverged_locations +=
+        outcomes[static_cast<std::size_t>(d)].dsm.diverged_marks;
+    result.reconciled_locations +=
+        outcomes[static_cast<std::size_t>(d)].dsm.reconciled_marks;
+  }
+  if (vm.fault_injector() != nullptr) {
+    result.partition_drops = vm.fault_injector()->stats().partition_drops +
+                             vm.fault_injector()->stats().blackhole_drops;
   }
   if (vm.sanitizer() != nullptr) {
     result.sanitize_violations = vm.sanitizer()->stats().total_violations();

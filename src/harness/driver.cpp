@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <stdexcept>
 
 #include "harness/report.hpp"
 #include "harness/run_config.hpp"
@@ -50,7 +51,20 @@ int drive(int argc, char** argv, const DriveOptions& options) {
       .add_string("report-out", "",
                   "write an end-of-run JSON report (nscc-run-report-v1: "
                   "every row's completion/staleness/sanitizer/recovery "
-                  "counters) here; empty disables");
+                  "counters) here; empty disables")
+      .add_double("quorum", 0.0,
+                  "fraction of the cluster (self included) an observer must "
+                  "hear before declaring a suspected peer dead; 0 disables "
+                  "the split-brain gate")
+      .add_bool("heal", true,
+                "anti-entropy heal: writers republish their locations over "
+                "the reliable channel when a partition/blackhole window ends")
+      .add_int("heartbeat-interval-ms", 50,
+               "failure-detector heartbeat period in virtual ms (> 0)")
+      .add_int("suspect-timeout-ms", 0,
+               "silence before suspecting a peer, in virtual ms (0 derives "
+               "the phi-threshold default; otherwise must exceed the "
+               "heartbeat interval)");
   obs::add_flags(flags);
   fault::add_flags(flags);
   workload->register_params(flags);
@@ -61,7 +75,37 @@ int drive(int argc, char** argv, const DriveOptions& options) {
 
   workload->configure(flags);
   const obs::Options obs_options = obs::options_from_flags(flags);
-  const fault::FaultPlan flag_plan = fault::plan_from_flags(flags);
+  fault::FaultPlan flag_plan;
+  try {
+    flag_plan = fault::plan_from_flags(flags);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "harness: " << e.what() << '\n';
+    return 1;
+  }
+  const double quorum = flags.get_double("quorum");
+  if (quorum < 0.0 || quorum > 1.0) {
+    std::cerr << "harness: --quorum must be in [0, 1], got " << quorum << '\n';
+    return 1;
+  }
+  const std::int64_t heartbeat_ms = flags.get_int("heartbeat-interval-ms");
+  if (heartbeat_ms <= 0) {
+    std::cerr << "harness: --heartbeat-interval-ms must be > 0, got "
+              << heartbeat_ms << '\n';
+    return 1;
+  }
+  const std::int64_t suspect_ms = flags.get_int("suspect-timeout-ms");
+  if (suspect_ms < 0) {
+    std::cerr << "harness: --suspect-timeout-ms must be >= 0, got "
+              << suspect_ms << '\n';
+    return 1;
+  }
+  if (suspect_ms > 0 && suspect_ms <= heartbeat_ms) {
+    std::cerr << "harness: --suspect-timeout-ms (" << suspect_ms
+              << ") must exceed --heartbeat-interval-ms (" << heartbeat_ms
+              << ") or the detector suspects peers between heartbeats\n";
+    return 1;
+  }
+  const bool heal = flags.get_bool("heal");
   const sim::Time read_timeout = fault::read_timeout_from_flags(flags);
   const rt::Network network =
       flags.get_string("network") == "sp2" ? rt::Network::kSp2Switch
@@ -84,6 +128,11 @@ int drive(int argc, char** argv, const DriveOptions& options) {
   base.recovery.checkpoint_interval = static_cast<sim::Time>(
       flags.get_double("checkpoint-interval") *
       static_cast<double>(sim::kSecond));
+  base.recovery.quorum_fraction = quorum;
+  base.recovery.heartbeat_interval =
+      static_cast<sim::Time>(heartbeat_ms) * sim::kMillisecond;
+  base.recovery.suspect_timeout =
+      static_cast<sim::Time>(suspect_ms) * sim::kMillisecond;
   workload->print_reference(std::cout, base);
 
   struct Row {
@@ -93,11 +142,13 @@ int drive(int argc, char** argv, const DriveOptions& options) {
   };
   std::vector<Row> rows;
   bool any_fault = !flag_plan.empty();
+  bool any_partition = false;
   for (std::size_t si = 0; si < scenarios.size(); ++si) {
     const Scenario& scenario = scenarios[si];
     const fault::FaultPlan& plan =
         scenario.has_fault ? scenario.fault : flag_plan;
     if (!plan.empty()) any_fault = true;
+    if (plan.partitionable()) any_partition = true;
     for (const auto& v : variants) {
       RunConfig run = base;
       run.mode = v.mode;
@@ -105,6 +156,9 @@ int drive(int argc, char** argv, const DriveOptions& options) {
       // Staleness tolerance is what licenses update coalescing (paper
       // Sections 1-2); sync and uncontrolled async send directly.
       run.propagation.coalesce = v.mode == dsm::Mode::kPartialAsync;
+      // Anti-entropy heal only arms when the plan can actually split the
+      // cluster, so partition-free runs stay byte-identical.
+      run.propagation.partition_heal = heal && plan.partitionable();
       run.loader_offered_bps = scenario.loader_offered_bps;
       // Sanitizing turns on the end-to-end integrity layer too: audited
       // runs should also checksum what the wire delivered.
@@ -139,6 +193,10 @@ int drive(int argc, char** argv, const DriveOptions& options) {
   if (any_fault) {
     cols.insert(cols.end(), {"frames lost", "retx", "escalations"});
   }
+  if (any_partition) {
+    cols.insert(cols.end(), {"part drops", "stale served", "heal frames",
+                             "diverged", "reconciled", "split brains"});
+  }
   const bool any_recovery = base.recovery.enabled();
   if (any_recovery) {
     cols.insert(cols.end(),
@@ -171,6 +229,14 @@ int drive(int argc, char** argv, const DriveOptions& options) {
     if (any_fault) {
       table.cell(s.frames_lost).cell(s.retransmissions).cell(
           s.read_escalations);
+    }
+    if (any_partition) {
+      table.cell(s.partition_drops)
+          .cell(s.partition_stale_served)
+          .cell(s.heal_frames)
+          .cell(s.diverged_locations)
+          .cell(s.reconciled_locations)
+          .cell(s.split_brain_declarations);
     }
     if (any_recovery) {
       table.cell(s.crashes).cell(s.restores).cell(s.rejoins).cell(
@@ -219,6 +285,29 @@ int drive(int argc, char** argv, const DriveOptions& options) {
                 << " run(s); per-read detail reported above by each "
                    "machine's sanitizer\n";
       return 4;
+    }
+  }
+  // A partitioned run split-brains when both sides declared each other dead
+  // (mutual dead declarations — the quorum gate's job to prevent) or when
+  // diverged locations were never reconciled (anti-entropy heal's job).
+  // This is the demonstrable failure mode of --quorum=0 --heal=false; the
+  // quorum-gated + healed configuration must never reach it.
+  if (any_partition) {
+    std::uint64_t diverged = 0;
+    std::uint64_t reconciled = 0;
+    std::uint64_t split_brains = 0;
+    for (const auto& row : rows) {
+      diverged += row.stats.diverged_locations;
+      reconciled += row.stats.reconciled_locations;
+      split_brains += row.stats.split_brain_declarations;
+    }
+    if (split_brains > 0 || diverged > reconciled) {
+      std::cerr << "harness: split-brain — " << split_brains
+                << " mutual dead declaration(s), " << (diverged - reconciled)
+                << " diverged location(s) never reconciled; rerun with a "
+                   "majority --quorum to gate dead declarations and --heal "
+                   "to merge divergent histories\n";
+      return 5;
     }
   }
   return 0;

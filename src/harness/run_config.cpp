@@ -28,6 +28,13 @@ std::vector<std::pair<std::string, double>> RunStats::to_fields() const {
       {"detection_latency_s", sim::to_seconds(detection_latency)},
       {"recovery_latency_s", sim::to_seconds(recovery_latency)},
       {"lost_iterations", static_cast<double>(lost_iterations)},
+      {"partition_drops", static_cast<double>(partition_drops)},
+      {"partition_stale_served", static_cast<double>(partition_stale_served)},
+      {"heal_frames", static_cast<double>(heal_frames)},
+      {"diverged_locations", static_cast<double>(diverged_locations)},
+      {"reconciled_locations", static_cast<double>(reconciled_locations)},
+      {"split_brain_declarations",
+       static_cast<double>(split_brain_declarations)},
       {quality_name, quality},
   };
   fields.insert(fields.end(), extra.begin(), extra.end());

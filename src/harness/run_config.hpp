@@ -71,6 +71,14 @@ struct RunStats {
   sim::Time detection_latency = 0;  ///< Summed crash->declared-dead.
   sim::Time recovery_latency = 0;   ///< Summed crash->respawn.
   std::int64_t lost_iterations = 0; ///< Progress rolled back by restores.
+  /// Partition counters (zero unless the fault plan scheduled
+  /// partition/blackhole windows).
+  std::uint64_t partition_drops = 0;        ///< Frames cut by the split.
+  std::uint64_t partition_stale_served = 0; ///< Minority-side stale serves.
+  std::uint64_t heal_frames = 0;            ///< Anti-entropy republishes.
+  std::uint64_t diverged_locations = 0;     ///< Reader locations diverged.
+  std::uint64_t reconciled_locations = 0;   ///< Diverged marks later healed.
+  std::uint64_t split_brain_declarations = 0;  ///< Mutual dead declarations.
   /// The workload's own figure of merit (best fitness, posterior, residual,
   /// training loss, ...), labelled so tables and JSON stay self-describing.
   std::string quality_name = "quality";

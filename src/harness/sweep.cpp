@@ -24,7 +24,7 @@ void Sweep::configure(const util::Flags& flags) {
 }
 
 std::string Sweep::to_json() const {
-  std::string out = "{\n  \"schema\": \"nscc-bench-v3\",\n  \"bench\": ";
+  std::string out = "{\n  \"schema\": \"nscc-bench-v4\",\n  \"bench\": ";
   append_escaped(out, bench_);
   out += ",\n  \"results\": [";
   bool first = true;

@@ -44,6 +44,18 @@ void fill_integrity(RunStats& stats, const Result& r) {
   stats.sanitize_violations = r.sanitize_violations;
 }
 
+/// Partition counters (every workload result carries them; zero unless the
+/// fault plan scheduled partition/blackhole windows).
+template <typename Result>
+void fill_partition(RunStats& stats, const Result& r) {
+  stats.partition_drops = r.partition_drops;
+  stats.partition_stale_served = r.partition_stale_served;
+  stats.heal_frames = r.heal_frames;
+  stats.diverged_locations = r.diverged_locations;
+  stats.reconciled_locations = r.reconciled_locations;
+  stats.split_brain_declarations = r.recovery.split_brain_declarations;
+}
+
 /// The staleness bound each variant's read discipline promises: synchronous
 /// reads demand the producer's previous iteration exactly, Global_Read(age)
 /// reads promise the declared bound, fully asynchronous reads tolerate
@@ -102,6 +114,7 @@ RunStats GaIslandWorkload::run(const RunConfig& run,
   stats.read_escalations = r.read_escalations;
   fill_recovery(stats, r);
   fill_integrity(stats, r);
+  fill_partition(stats, r);
   stats.quality_name = "best_fitness";
   stats.quality = r.best_fitness;
   stats.extra = {{"final_average", r.final_average},
@@ -197,6 +210,7 @@ RunStats BayesSamplingWorkload::run(const RunConfig& run,
   stats.read_escalations = r.read_escalations;
   fill_recovery(stats, r);
   fill_integrity(stats, r);
+  fill_partition(stats, r);
   stats.quality_name = "P(coma|cancer)";
   stats.quality = r.estimates.empty() ? 0.0 : r.estimates[0].probability;
   stats.extra = {
@@ -279,6 +293,7 @@ RunStats JacobiWorkload::run(const RunConfig& run,
   stats.read_escalations = r.read_escalations;
   fill_recovery(stats, r);
   fill_integrity(stats, r);
+  fill_partition(stats, r);
   stats.quality_name = "residual";
   stats.quality = r.residual;
   stats.extra = {{"sweeps", static_cast<double>(r.sweeps)},
@@ -349,6 +364,7 @@ RunStats NnTrainWorkload::run(const RunConfig& run,
   stats.read_escalations = r.read_escalations;
   fill_recovery(stats, r);
   fill_integrity(stats, r);
+  fill_partition(stats, r);
   stats.quality_name = "final_loss";
   stats.quality = r.final_loss;
   stats.extra = {{"final_accuracy", r.final_accuracy}};

@@ -160,12 +160,15 @@ TrainResult train_parallel(const Dataset& data, const TrainConfig& config,
   TrainResult result;
   util::RunningStats staleness;
   std::vector<dsm::DsmStats> worker_dsm(static_cast<std::size_t>(P));
+  dsm::DsmStats server_dsm;
 
   // ---- parameter server -------------------------------------------------------
   vm.add_task("server", [&](rt::Task& task) {
     Mlp net(config.layers, config.seed);
-    dsm::SharedSpace space(task, {.read_timeout = config.propagation.read_timeout,
-                                  .integrity = config.propagation.integrity});
+    dsm::SharedSpace space(
+        task, {.read_timeout = config.propagation.read_timeout,
+               .partition_heal = config.propagation.partition_heal,
+               .integrity = config.propagation.integrity});
     std::vector<int> readers;
     for (int w = 1; w <= P; ++w) readers.push_back(w);
     space.declare_written(kParamsLoc, readers);
@@ -294,6 +297,7 @@ TrainResult train_parallel(const Dataset& data, const TrainConfig& config,
     }
     result.final_loss = net.loss(data.inputs, data.targets);
     result.final_accuracy = net.accuracy(data.inputs, data.targets);
+    server_dsm = space.stats();
   });
 
   // ---- workers -----------------------------------------------------------------
@@ -302,9 +306,19 @@ TrainResult train_parallel(const Dataset& data, const TrainConfig& config,
       Mlp net(config.layers, config.seed);
       dsm::PropagationPolicy prop{
           .read_timeout = config.propagation.read_timeout,
+          .partition_heal = config.propagation.partition_heal,
           .integrity = config.propagation.integrity};
       if (rc != nullptr) {
-        prop.writer_alive = [rcp = rc](int node) { return rcp->alive(node); };
+        if (rc->partitioned()) {
+          prop.writer_alive = [rcp = rc, w](int node) {
+            return rcp->alive(w, node);
+          };
+          prop.in_quorum = [rcp = rc, w] { return rcp->in_quorum(w); };
+        } else {
+          prop.writer_alive = [rcp = rc](int node) {
+            return rcp->alive(node);
+          };
+        }
         if (prop.read_timeout <= 0) prop.read_timeout = 50 * sim::kMillisecond;
       }
       dsm::SharedSpace space(task, prop);
@@ -388,6 +402,15 @@ TrainResult train_parallel(const Dataset& data, const TrainConfig& config,
     result.read_escalations += d.read_escalations;
     result.degraded_reads += d.degraded_reads;
     result.integrity_dropped += d.integrity_dropped;
+    result.partition_stale_served += d.partition_stale_served;
+    result.heal_frames += d.heal_frames;
+    result.diverged_locations += d.diverged_marks;
+    result.reconciled_locations += d.reconciled_marks;
+  }
+  result.heal_frames += server_dsm.heal_frames;
+  if (vm.fault_injector() != nullptr) {
+    result.partition_drops = vm.fault_injector()->stats().partition_drops +
+                             vm.fault_injector()->stats().blackhole_drops;
   }
   if (coord != nullptr) result.recovery = coord->stats();
   result.mean_staleness = staleness.mean();

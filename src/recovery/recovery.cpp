@@ -28,8 +28,13 @@ std::optional<Policy> policy_from_name(const std::string& name) {
 
 Coordinator::Coordinator(rt::VirtualMachine& vm, Config cfg)
     : vm_(vm), cfg_(cfg) {
+  // Per-node membership views whenever split-brain is possible: the quorum
+  // gate is on, or the fault plan can actually partition the cluster.
+  per_node_ = cfg_.quorum_fraction > 0.0 || vm_.config().fault.partitionable();
   vm_.add_start_hook([this] { on_start(); });
   vm_.add_flush_hook([this] { flush_obs(); });
+  vm_.set_link_failure_hook(
+      [this](int src, int dst) { on_link_failure(src, dst); });
 }
 
 void Coordinator::on_start() {
@@ -38,9 +43,21 @@ void Coordinator::on_start() {
   last_seen_.assign(static_cast<std::size_t>(n), now);
   alive_.assign(static_cast<std::size_t>(n), true);
   epochs_.assign(static_cast<std::size_t>(n), 0);
-  for (int i = 0; i < n; ++i) {
-    vm_.task(i).set_tag_handler(
-        rt::kHeartbeatTag, [this](rt::Message m) { on_heartbeat(m); });
+  if (per_node_) {
+    views_.assign(static_cast<std::size_t>(n),
+                  std::vector<PeerView>(static_cast<std::size_t>(n),
+                                        PeerView{now, PeerState::kAlive,
+                                                 false}));
+    for (int i = 0; i < n; ++i) {
+      vm_.task(i).set_tag_handler(
+          rt::kHeartbeatTag,
+          [this, i](rt::Message m) { on_heartbeat_view(i, m); });
+    }
+  } else {
+    for (int i = 0; i < n; ++i) {
+      vm_.task(i).set_tag_handler(
+          rt::kHeartbeatTag, [this](rt::Message m) { on_heartbeat(m); });
+    }
   }
   // Crash accounting and (under kRejoin) respawn scheduling mirror the VM's
   // own stateful-kill schedule.
@@ -54,14 +71,7 @@ void Coordinator::on_start() {
         vm_.engine().schedule(w.start, [this] { ++stats_.crashes; });
         if (cfg_.policy == Policy::kRejoin) {
           vm_.engine().schedule(w.end, [this, node, w] {
-            if (vm_.task_alive(node)) return;
-            vm_.respawn_task(node);
-            ++stats_.rejoins;
-            stats_.recovery_latency += vm_.engine().now() - w.start;
-            // Grace period: the detector must not re-suspect the node
-            // before its first post-rejoin heartbeat lands.
-            last_seen_[static_cast<std::size_t>(node)] = vm_.engine().now();
-            alive_[static_cast<std::size_t>(node)] = true;
+            schedule_respawn(node, w.start);
           });
         }
       }
@@ -70,6 +80,48 @@ void Coordinator::on_start() {
   if (n > 1 && cfg_.heartbeat_interval > 0) {
     tick_scheduled_ = true;
     vm_.engine().schedule(now + cfg_.heartbeat_interval, [this] { tick(); });
+  }
+}
+
+void Coordinator::schedule_respawn(int node, sim::Time crash_start) {
+  if (vm_.task_alive(node)) return;
+  const int n = vm_.size();
+  const sim::Time now = vm_.engine().now();
+  // A victim may not rejoin into a minority island: it would restore a
+  // stale checkpoint and double-write against the majority's epoch.  Wait
+  // (re-checking every heartbeat interval) until the scheduled topology
+  // lets it reach a quorum of its peers again.
+  if (per_node_ && cfg_.quorum_fraction > 0.0) {
+    int reachable = 1;  // Self.
+    for (int j = 0; j < n; ++j) {
+      if (j != node && vm_.config().fault.reachable(node, j, now)) {
+        ++reachable;
+      }
+    }
+    if (reachable < quorum_size()) {
+      ++stats_.deferred_rejoins;
+      vm_.engine().schedule(now + cfg_.heartbeat_interval,
+                            [this, node, crash_start] {
+                              schedule_respawn(node, crash_start);
+                            });
+      return;
+    }
+  }
+  vm_.respawn_task(node);
+  ++stats_.rejoins;
+  stats_.recovery_latency += now - crash_start;
+  // Grace period: the detector must not re-suspect the node before its
+  // first post-rejoin heartbeat lands.
+  last_seen_[static_cast<std::size_t>(node)] = now;
+  alive_[static_cast<std::size_t>(node)] = true;
+  if (per_node_) {
+    for (int i = 0; i < vm_.size(); ++i) {
+      PeerView& v = views_[static_cast<std::size_t>(i)]
+                          [static_cast<std::size_t>(node)];
+      v.last_seen = now;
+      v.state = PeerState::kAlive;
+      v.parked = false;
+    }
   }
 }
 
@@ -108,8 +160,19 @@ void Coordinator::tick() {
     }
   }
 
-  const auto silence_limit = static_cast<sim::Time>(
-      cfg_.phi_threshold * static_cast<double>(cfg_.heartbeat_interval));
+  if (per_node_) {
+    tick_views(now);
+  } else {
+    tick_global(now);
+  }
+
+  tick_scheduled_ = true;
+  vm_.engine().schedule(now + cfg_.heartbeat_interval, [this] { tick(); });
+}
+
+void Coordinator::tick_global(sim::Time now) {
+  const int n = vm_.size();
+  const sim::Time silence_limit = suspect_limit();
   for (int i = 0; i < n; ++i) {
     if (!alive_[static_cast<std::size_t>(i)]) continue;
     if (now - last_seen_[static_cast<std::size_t>(i)] <= silence_limit) {
@@ -124,9 +187,73 @@ void Coordinator::tick() {
       alive_[static_cast<std::size_t>(i)] = false;
     }
   }
+}
 
-  tick_scheduled_ = true;
-  vm_.engine().schedule(now + cfg_.heartbeat_interval, [this] { tick(); });
+void Coordinator::tick_views(sim::Time now) {
+  const int n = vm_.size();
+  const sim::Time silence_limit = suspect_limit();
+  for (int i = 0; i < n; ++i) {
+    if (!vm_.task_alive(i)) continue;  // A dead observer judges nobody.
+    const bool quorum = in_quorum(i);
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      PeerView& v = views_[static_cast<std::size_t>(i)]
+                          [static_cast<std::size_t>(j)];
+      if (v.state == PeerState::kDead) continue;
+      if (now - v.last_seen <= silence_limit) continue;
+      // Unlike the global detector, silence here does not prove the
+      // process ended: a partition or blackhole silences live fibers
+      // too.  The evidence gate accepts either a crash window on record
+      // or a scheduled cut between observer and peer; bare silence with
+      // neither is normal completion and goes dead without stats.
+      const sim::Time crashed = crash_start_before(j, now);
+      const bool cut = !vm_.config().fault.reachable(i, j, now);
+      if (crashed == 0 && !cut) {
+        v.state = PeerState::kDead;
+        continue;
+      }
+      if (v.state == PeerState::kAlive) {
+        v.state = PeerState::kSuspect;
+        vm_.obs().tracer().instant(i, "recovery.suspect_peer", now, "peer",
+                                   static_cast<std::int64_t>(j));
+        continue;
+      }
+      // kSuspect → kDead only while the observer holds a quorum; a
+      // minority-side observer parks here and keeps degrading instead of
+      // declaring (and possibly double-writing against) the other side.
+      if (quorum) {
+        declare_dead(i, j, now);
+      } else if (!v.parked) {
+        v.parked = true;
+        ++stats_.quorum_parks;
+        vm_.obs().tracer().instant(i, "recovery.quorum_park", now, "peer",
+                                   static_cast<std::int64_t>(j));
+      }
+    }
+  }
+}
+
+void Coordinator::declare_dead(int observer, int node, sim::Time now) {
+  PeerView& v = views_[static_cast<std::size_t>(observer)]
+                      [static_cast<std::size_t>(node)];
+  v.state = PeerState::kDead;
+  v.parked = false;
+  ++stats_.suspected;
+  // Mutual dead declaration: the peer being declared had already declared
+  // the observer dead — the membership has split-brained.  A majority
+  // quorum (fraction > 0.5) makes this impossible: at most one side of a
+  // split can hold it, and the other parks.
+  if (views_[static_cast<std::size_t>(node)]
+            [static_cast<std::size_t>(observer)]
+                .state == PeerState::kDead) {
+    ++stats_.split_brain_declarations;
+    vm_.obs().tracer().instant(observer, "recovery.split_brain", now, "peer",
+                               static_cast<std::int64_t>(node));
+  }
+  const sim::Time crashed = crash_start_before(node, now);
+  if (crashed > 0) stats_.detection_latency += now - crashed;
+  vm_.obs().tracer().instant(observer, "recovery.declare_dead", now, "peer",
+                             static_cast<std::int64_t>(node));
 }
 
 void Coordinator::on_heartbeat(const rt::Message& msg) {
@@ -141,6 +268,49 @@ void Coordinator::on_heartbeat(const rt::Message& msg) {
   }
 }
 
+void Coordinator::on_heartbeat_view(int observer, const rt::Message& msg) {
+  const auto src = static_cast<std::size_t>(msg.src);
+  const sim::Time now = vm_.engine().now();
+  last_seen_[src] = std::max(last_seen_[src], now);
+  epochs_[src] = std::max(epochs_[src], msg.epoch);
+  PeerView& v = views_[static_cast<std::size_t>(observer)][src];
+  v.last_seen = std::max(v.last_seen, now);
+  v.parked = false;
+  if (v.state != PeerState::kAlive) {
+    if (v.state == PeerState::kDead) {
+      vm_.obs().tracer().instant(msg.src, "recovery.rejoin_seen", now,
+                                 "observer",
+                                 static_cast<std::int64_t>(observer));
+    }
+    v.state = PeerState::kAlive;
+  }
+}
+
+void Coordinator::on_link_failure(int src, int dst) {
+  const int n = vm_.size();
+  if (src < 0 || dst < 0 || src >= n || dst >= n || src == dst) return;
+  const sim::Time now = vm_.engine().now();
+  if (per_node_) {
+    if (views_.empty()) return;
+    // The sender exhausted its retransmit budget on this peer: treat that
+    // as a missed-heartbeat-class signal and suspect, never declare —
+    // declaring stays quorum-gated in the detector tick.
+    PeerView& v = views_[static_cast<std::size_t>(src)]
+                        [static_cast<std::size_t>(dst)];
+    if (v.state == PeerState::kAlive) {
+      v.state = PeerState::kSuspect;
+      vm_.obs().tracer().instant(src, "recovery.suspect_peer", now, "peer",
+                                 static_cast<std::int64_t>(dst));
+    }
+    return;
+  }
+  if (alive_.empty() || !alive_[static_cast<std::size_t>(dst)]) return;
+  // Global view: an abandoned link to a peer with a crash window on record
+  // is failure evidence; without one it is normal completion noise (the
+  // peer drained its mailbox and exited) and stays un-counted.
+  if (crash_start_before(dst, now) > 0) suspect(dst, now);
+}
+
 void Coordinator::suspect(int node, sim::Time now) {
   alive_[static_cast<std::size_t>(node)] = false;
   ++stats_.suspected;
@@ -150,6 +320,20 @@ void Coordinator::suspect(int node, sim::Time now) {
                              static_cast<std::int64_t>(
                                  now - last_seen_[static_cast<std::size_t>(
                                            node)]));
+}
+
+sim::Time Coordinator::suspect_limit() const {
+  return cfg_.suspect_timeout > 0
+             ? cfg_.suspect_timeout
+             : static_cast<sim::Time>(
+                   cfg_.phi_threshold *
+                   static_cast<double>(cfg_.heartbeat_interval));
+}
+
+int Coordinator::quorum_size() const {
+  const double want = cfg_.quorum_fraction * static_cast<double>(vm_.size());
+  const auto q = static_cast<int>(want);
+  return std::max(1, static_cast<double>(q) < want ? q + 1 : q);
 }
 
 sim::Time Coordinator::crash_start_before(int node, sim::Time now) const {
@@ -219,7 +403,38 @@ void Coordinator::maybe_checkpoint(rt::Task& task, std::int64_t iteration,
 }
 
 bool Coordinator::alive(int node) const {
+  if (per_node_ && !views_.empty()) {
+    // Union view: alive while any observer has not declared the node dead.
+    for (const auto& view : views_) {
+      if (view[static_cast<std::size_t>(node)].state != PeerState::kDead) {
+        return true;
+      }
+    }
+    return false;
+  }
   return alive_.empty() || alive_[static_cast<std::size_t>(node)];
+}
+
+bool Coordinator::alive(int observer, int node) const {
+  if (!per_node_ || views_.empty()) return alive(node);
+  if (observer == node) return true;
+  return views_[static_cast<std::size_t>(observer)]
+               [static_cast<std::size_t>(node)]
+                   .state != PeerState::kDead;
+}
+
+bool Coordinator::in_quorum(int observer) const {
+  if (cfg_.quorum_fraction <= 0.0) return true;
+  if (!per_node_ || views_.empty()) return true;
+  const sim::Time now = vm_.engine().now();
+  const sim::Time limit = suspect_limit();
+  int heard = 1;  // Self.
+  const auto& view = views_[static_cast<std::size_t>(observer)];
+  for (int j = 0; j < vm_.size(); ++j) {
+    if (j == observer) continue;
+    if (now - view[static_cast<std::size_t>(j)].last_seen <= limit) ++heard;
+  }
+  return heard >= quorum_size();
 }
 
 std::uint64_t Coordinator::epoch(int node) const {
@@ -235,6 +450,16 @@ void Coordinator::flush_obs() {
   reg.counter("recovery.cold_restarts").inc(stats_.cold_restarts);
   reg.counter("recovery.rejoins").inc(stats_.rejoins);
   reg.counter("recovery.suspected").inc(stats_.suspected);
+  if (stats_.quorum_parks > 0) {
+    reg.counter("recovery.quorum_parks").inc(stats_.quorum_parks);
+  }
+  if (stats_.deferred_rejoins > 0) {
+    reg.counter("recovery.deferred_rejoins").inc(stats_.deferred_rejoins);
+  }
+  if (stats_.split_brain_declarations > 0) {
+    reg.counter("recovery.split_brain_declarations")
+        .inc(stats_.split_brain_declarations);
+  }
   reg.counter("recovery.detection_latency_ns")
       .inc(static_cast<std::uint64_t>(stats_.detection_latency));
   reg.counter("recovery.recovery_latency_ns")

@@ -67,6 +67,18 @@ struct Config {
   /// Intervals of silence before a node is declared dead (simplified
   /// phi-accrual: fixed expected arrival, threshold in units of it).
   double phi_threshold = 4.0;
+  /// Explicit silence-before-suspect budget; 0 derives the legacy
+  /// phi_threshold × heartbeat_interval limit.
+  sim::Time suspect_timeout = 0;
+  /// Fraction of the cluster (self included) an observer must have heard
+  /// recently before it may *declare* a suspected peer dead — the
+  /// split-brain gate.  0 disables the gate (a suspect escalates to dead
+  /// immediately, which is exactly the both-sides-declare-each-other-dead
+  /// failure mode the acceptance matrix demonstrates).  Any positive
+  /// quorum, or a fault plan with partition/blackhole windows, switches
+  /// the coordinator from its single global membership view to per-node
+  /// views (each node judges peers from the heartbeats *it* received).
+  double quorum_fraction = 0.0;
   /// Fixed virtual cost of taking or restoring one snapshot (quiesce +
   /// buffer setup).
   sim::Time checkpoint_fixed_cost = 200 * sim::kMicrosecond;
@@ -122,6 +134,15 @@ struct Stats {
   std::uint64_t cold_restarts = 0;     ///< Restarts that did not.
   std::uint64_t rejoins = 0;           ///< Respawns scheduled at window end.
   std::uint64_t suspected = 0;         ///< Detector declared-dead events.
+  std::uint64_t quorum_parks = 0;      ///< Dead declarations deferred for
+                                       ///< lack of quorum (minority side).
+  std::uint64_t split_brain_declarations = 0;  ///< Mutual dead declarations:
+                                       ///< observer declared a peer dead
+                                       ///< that had already declared the
+                                       ///< observer dead.  Nonzero means
+                                       ///< the membership split-brained.
+  std::uint64_t deferred_rejoins = 0;  ///< Respawns postponed until the
+                                       ///< victim could reach a quorum.
   sim::Time detection_latency = 0;     ///< Sum over suspicions, crash->declared.
   sim::Time recovery_latency = 0;      ///< Sum over rejoins, crash->respawn.
   sim::Time checkpoint_cost = 0;       ///< Virtual time charged for snapshots.
@@ -156,8 +177,29 @@ class Coordinator {
                         Checkpointable& app);
 
   /// Heartbeat-driven membership view.  True until the detector declares
-  /// the node dead; flips back on rejoin.
+  /// the node dead; flips back on rejoin.  In per-node mode this is the
+  /// union view: alive while *any* observer still considers the node not
+  /// dead.
   [[nodiscard]] bool alive(int node) const;
+
+  /// Per-node membership: does `observer` consider `node` not dead?  A
+  /// suspected-but-not-declared peer is still alive here — minority-side
+  /// observers park in that state, so they degrade instead of declaring.
+  /// Falls back to the global view outside per-node mode.
+  [[nodiscard]] bool alive(int observer, int node) const;
+
+  /// Does `observer` currently hear a quorum of the cluster (self
+  /// included)?  Always true when the quorum gate is off.
+  [[nodiscard]] bool in_quorum(int observer) const;
+
+  /// True when the coordinator runs per-node membership views (quorum
+  /// gate on, or the fault plan schedules partitions/blackholes).
+  [[nodiscard]] bool partitioned() const noexcept { return per_node_; }
+
+  /// Transport-level link failure (reliable retransmit exhausted): the
+  /// sender stops trusting the link and suspects the peer.  Registered as
+  /// the VM's link-failure hook.
+  void on_link_failure(int src, int dst);
 
   /// Latest epoch heard from the node (0 before any restart).
   [[nodiscard]] std::uint64_t epoch(int node) const;
@@ -166,18 +208,37 @@ class Coordinator {
   [[nodiscard]] const Config& config() const noexcept { return cfg_; }
 
  private:
+  /// Two-level per-observer peer state: a silent peer is first suspected
+  /// (reads keep blocking / park on the watchdog), and only a
+  /// quorum-holding observer escalates suspicion to a dead declaration.
+  enum class PeerState { kAlive, kSuspect, kDead };
+  struct PeerView {
+    sim::Time last_seen = 0;
+    PeerState state = PeerState::kAlive;
+    bool parked = false;  ///< Counted one quorum_park for this episode.
+  };
+
   void on_start();
   void tick();
+  void tick_global(sim::Time now);
+  void tick_views(sim::Time now);
   void on_heartbeat(const rt::Message& msg);
+  void on_heartbeat_view(int observer, const rt::Message& msg);
   void suspect(int node, sim::Time now);
+  void declare_dead(int observer, int node, sim::Time now);
+  void schedule_respawn(int node, sim::Time crash_start);
   [[nodiscard]] sim::Time crash_start_before(int node, sim::Time now) const;
+  [[nodiscard]] sim::Time suspect_limit() const;
+  [[nodiscard]] int quorum_size() const;
   void flush_obs();
 
   rt::VirtualMachine& vm_;
   Config cfg_;
   Stats stats_;
+  bool per_node_ = false;
   std::vector<sim::Time> last_seen_;
   std::vector<bool> alive_;
+  std::vector<std::vector<PeerView>> views_;  ///< views_[observer][peer].
   std::vector<std::uint64_t> epochs_;
   std::map<int, Checkpoint> checkpoints_;
   std::map<int, std::int64_t> last_progress_;

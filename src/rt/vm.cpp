@@ -425,9 +425,11 @@ void VirtualMachine::arm_retx_timer(const std::shared_ptr<TxState>& st) {
         if (st->settled) return;
         if (st->attempts >= config_.transport.max_attempts) {
           ++transport_stats_.retx_abandoned;
+          obs_.registry().counter("rt.retx.abandoned").inc();
           obs_.tracer().instant(st->msg.src, "rt.retx_abandon", engine_.now(),
                                 "dst", st->dst, "seq",
                                 static_cast<std::int64_t>(st->msg.seq));
+          if (link_failure_hook_) link_failure_hook_(st->msg.src, st->dst);
           settle(st, false);
           return;
         }
@@ -620,6 +622,8 @@ void VirtualMachine::flush_stats() {
     reg.counter("fault.frames_lost").inc(fs.frames_lost);
     reg.counter("fault.outage_drops").inc(fs.outage_drops);
     reg.counter("fault.crash_drops").inc(fs.crash_drops);
+    reg.counter("fault.partition_drops").inc(fs.partition_drops);
+    reg.counter("fault.blackhole_drops").inc(fs.blackhole_drops);
     reg.counter("fault.frames_duplicated").inc(fs.frames_duplicated);
     reg.counter("fault.frames_delayed").inc(fs.frames_delayed);
     reg.counter("fault.frames_corrupted").inc(fs.frames_corrupted);

@@ -261,6 +261,14 @@ class VirtualMachine {
     flush_hooks_.push_back(std::move(hook));
   }
 
+  /// Called in engine context when the reliable transport exhausts its
+  /// retransmit budget on one message — (src, dst) of the abandoned link.
+  /// The recovery coordinator registers itself here so a give-up is a
+  /// membership signal instead of a silent counter bump.
+  void set_link_failure_hook(std::function<void(int, int)> hook) {
+    link_failure_hook_ = std::move(hook);
+  }
+
   [[nodiscard]] int size() const noexcept { return config_.ntasks; }
   [[nodiscard]] Task& task(int id) { return *tasks_.at(id); }
   [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
@@ -347,6 +355,7 @@ class VirtualMachine {
   std::vector<std::pair<std::string, std::function<void(Task&)>>> bodies_;
   std::vector<std::function<void()>> start_hooks_;
   std::vector<std::function<void()>> flush_hooks_;
+  std::function<void(int, int)> link_failure_hook_;
 };
 
 }  // namespace nscc::rt

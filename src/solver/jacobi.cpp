@@ -166,10 +166,18 @@ ParallelJacobiResult run_parallel_jacobi(const LinearSystem& sys,
       dsm::PropagationPolicy prop{
           .coalesce = config.propagation.coalesce,
           .read_timeout = config.propagation.read_timeout,
+          .partition_heal = config.propagation.partition_heal,
           .integrity = config.propagation.integrity};
       recovery::Coordinator* rc = coord.get();
       if (rc != nullptr) {
-        prop.writer_alive = [rc](int node) { return rc->alive(node); };
+        if (rc->partitioned()) {
+          prop.writer_alive = [rc, me](int node) {
+            return rc->alive(me, node);
+          };
+          prop.in_quorum = [rc, me] { return rc->in_quorum(me); };
+        } else {
+          prop.writer_alive = [rc](int node) { return rc->alive(node); };
+        }
         // Rejoin liveness needs the starvation watchdog (a restarted block's
         // cache refills through explicit demands).
         if (prop.read_timeout <= 0) prop.read_timeout = 50 * sim::kMillisecond;
@@ -437,6 +445,14 @@ ParallelJacobiResult run_parallel_jacobi(const LinearSystem& sys,
     result.read_escalations += out.dsm.read_escalations;
     result.degraded_reads += out.dsm.degraded_reads;
     result.integrity_dropped += out.dsm.integrity_dropped;
+    result.partition_stale_served += out.dsm.partition_stale_served;
+    result.heal_frames += out.dsm.heal_frames;
+    result.diverged_locations += out.dsm.diverged_marks;
+    result.reconciled_locations += out.dsm.reconciled_marks;
+  }
+  if (vm.fault_injector() != nullptr) {
+    result.partition_drops = vm.fault_injector()->stats().partition_drops +
+                             vm.fault_injector()->stats().blackhole_drops;
   }
   if (coord != nullptr) result.recovery = coord->stats();
   // The machine-wide staleness histogram is every block's per-task histogram

@@ -9,6 +9,7 @@
 #include <fstream>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,7 @@ using nscc::dsm::PropagationPolicy;
 using nscc::dsm::SharedSpace;
 using nscc::fault::FaultInjector;
 using nscc::fault::FaultPlan;
+using nscc::fault::PartitionWindow;
 using nscc::fault::Window;
 using nscc::rt::MachineConfig;
 using nscc::rt::Packet;
@@ -502,6 +504,183 @@ TEST(FaultFlags, DefaultsAreAPerfectNetwork) {
   ASSERT_TRUE(flags.parse(1, const_cast<char**>(argv)));
   EXPECT_TRUE(nscc::fault::plan_from_flags(flags).empty());
   EXPECT_EQ(nscc::fault::read_timeout_from_flags(flags), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-window composition
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjector, CrashInsideOutageCountsOnceInOutageBucket) {
+  // A crash window fully inside an outage: a frame involving the crashed
+  // node during the overlap is dropped exactly once, attributed to the
+  // outage (the first schedule checked), never double-counted.
+  FaultPlan plan;
+  plan.outages.push_back(Window{100, 300});
+  plan.nodes[1].crashes.push_back(Window{150, 250});
+  FaultInjector inj(plan);
+  EXPECT_TRUE(inj.judge(0, 1, 200, 210).drop);  // Both windows open.
+  EXPECT_EQ(inj.stats().frames_lost, 1u);
+  EXPECT_EQ(inj.stats().outage_drops, 1u);
+  EXPECT_EQ(inj.stats().crash_drops, 0u);
+  // Outside the outage the crash window is gone too (it ended at 250),
+  // so nothing drops.
+  EXPECT_FALSE(inj.judge(0, 1, 350, 360).drop);
+  EXPECT_EQ(inj.stats().frames_lost, 1u);
+}
+
+TEST(FaultInjector, AdjacentWindowsShareTheBoundaryTickExactlyOnce) {
+  // Two half-open windows [100, 200) and [200, 300): the boundary tick 200
+  // belongs to the second window only, so a frame there drops once.
+  FaultPlan plan;
+  PartitionWindow first;
+  first.window = Window{100, 200};
+  first.groups = {{0, 1}, {2, 3}};
+  PartitionWindow second = first;
+  second.window = Window{200, 300};
+  plan.partitions.push_back(first);
+  plan.partitions.push_back(second);
+  FaultInjector inj(plan);
+  EXPECT_TRUE(inj.judge(0, 2, 199, 205).drop);
+  EXPECT_TRUE(inj.judge(0, 2, 200, 205).drop);   // Second window's start.
+  EXPECT_FALSE(inj.judge(0, 2, 300, 305).drop);  // End is exclusive.
+  EXPECT_FALSE(inj.judge(0, 2, 99, 105).drop);
+  EXPECT_EQ(inj.stats().partition_drops, 2u);
+  EXPECT_EQ(inj.stats().frames_lost, 2u);
+}
+
+TEST(FaultInjector, PerLinkOverrideBeatsDefaultLinkFaults) {
+  // per_link fully replaces FaultPlan::link for that (src, dst) pair: a
+  // clean override rescues one link from an otherwise always-lossy plan,
+  // including the -1 anonymous background-load source.
+  FaultPlan plan;
+  plan.link.loss_prob = 1.0;
+  plan.per_link[{0, 1}] = nscc::fault::LinkFaults{};   // Clean override.
+  plan.per_link[{-1, 2}] = nscc::fault::LinkFaults{};  // Background source.
+  FaultInjector inj(plan);
+  EXPECT_FALSE(inj.judge(0, 1, 10, 20).drop);   // Overridden: clean.
+  EXPECT_TRUE(inj.judge(1, 0, 10, 20).drop);    // Reverse not overridden.
+  EXPECT_FALSE(inj.judge(-1, 2, 10, 20).drop);  // Background override.
+  EXPECT_TRUE(inj.judge(-1, 3, 10, 20).drop);   // Background default.
+  EXPECT_TRUE(inj.judge(2, 3, 10, 20).drop);    // Plain default.
+}
+
+// ---------------------------------------------------------------------------
+// Partition / blackhole judgement
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjector, PartitionCutsCrossGroupFramesOnly) {
+  FaultPlan plan;
+  PartitionWindow split;
+  split.window = Window{100, 200};
+  split.groups = {{0, 1}, {2, 3}};
+  plan.partitions.push_back(split);
+  FaultInjector inj(plan);
+  EXPECT_TRUE(inj.judge(0, 2, 150, 160).drop);   // Cross-group.
+  EXPECT_TRUE(inj.judge(3, 1, 150, 160).drop);   // Cross, either direction.
+  EXPECT_FALSE(inj.judge(0, 1, 150, 160).drop);  // Intra-group.
+  EXPECT_FALSE(inj.judge(2, 3, 150, 160).drop);  // Intra-group.
+  EXPECT_FALSE(inj.judge(0, 4, 150, 160).drop);  // Unlisted node untouched.
+  EXPECT_FALSE(inj.judge(-1, 2, 150, 160).drop); // Background untouched.
+  EXPECT_FALSE(inj.judge(0, 2, 50, 60).drop);    // Before the window.
+  EXPECT_FALSE(inj.judge(0, 2, 200, 210).drop);  // End is exclusive.
+  EXPECT_EQ(inj.stats().partition_drops, 2u);
+  EXPECT_EQ(inj.stats().frames_lost, 2u);
+}
+
+TEST(FaultInjector, BlackholeIsOneWay) {
+  FaultPlan plan;
+  plan.blackholes.push_back(nscc::fault::BlackholeWindow{0, 1, {100, 200}});
+  FaultInjector inj(plan);
+  EXPECT_TRUE(inj.judge(0, 1, 150, 160).drop);   // Blackholed direction.
+  EXPECT_FALSE(inj.judge(1, 0, 150, 160).drop);  // Reverse still delivers.
+  EXPECT_FALSE(inj.judge(0, 1, 250, 260).drop);  // After the window.
+  EXPECT_EQ(inj.stats().blackhole_drops, 1u);
+}
+
+TEST(FaultPlanReachability, FollowsScheduledCuts) {
+  FaultPlan plan;
+  PartitionWindow split;
+  split.window = Window{100, 200};
+  split.groups = {{0, 1}, {2, 3}};
+  plan.partitions.push_back(split);
+  plan.blackholes.push_back(nscc::fault::BlackholeWindow{0, 1, {300, 400}});
+  EXPECT_TRUE(plan.partitionable());
+  EXPECT_FALSE(plan.reachable(0, 2, 150));
+  EXPECT_TRUE(plan.reachable(0, 1, 150));
+  EXPECT_TRUE(plan.reachable(0, 2, 250));
+  // A one-way blackhole makes the pair unreachable in both orders:
+  // reachability demands both directions deliver.
+  EXPECT_FALSE(plan.reachable(0, 1, 350));
+  EXPECT_FALSE(plan.reachable(1, 0, 350));
+  EXPECT_EQ(plan.partition_release_after(150), 200);
+  EXPECT_EQ(plan.partition_release_after(350), 400);
+  EXPECT_EQ(plan.partition_release_after(250), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Partition / blackhole spec parsing
+// ---------------------------------------------------------------------------
+
+TEST(PartitionSpec, ParsesWindowAndGroups) {
+  const auto p = nscc::fault::parse_partition_spec("0.2:0.6:0,1|2,3");
+  EXPECT_EQ(p.window.start,
+            static_cast<Time>(0.2 * static_cast<double>(kSecond)));
+  EXPECT_EQ(p.window.end,
+            static_cast<Time>(0.6 * static_cast<double>(kSecond)));
+  ASSERT_EQ(p.groups.size(), 2u);
+  EXPECT_EQ(p.groups[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ(p.groups[1], (std::vector<int>{2, 3}));
+}
+
+TEST(PartitionSpec, RejectsMalformedSpecs) {
+  using nscc::fault::parse_partition_spec;
+  EXPECT_THROW(parse_partition_spec(""), std::invalid_argument);
+  EXPECT_THROW(parse_partition_spec("0.2:0.6"), std::invalid_argument);
+  EXPECT_THROW(parse_partition_spec("0.6:0.2:0,1|2,3"),
+               std::invalid_argument);  // start >= end
+  EXPECT_THROW(parse_partition_spec("0.2:0.6:0,1,2,3"),
+               std::invalid_argument);  // Single group: nothing to cut.
+  EXPECT_THROW(parse_partition_spec("0.2:0.6:0,1|1,2"),
+               std::invalid_argument);  // Node in two groups.
+  EXPECT_THROW(parse_partition_spec("0.2:0.6:0,x|2,3"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_partition_spec("a:0.6:0,1|2,3"), std::invalid_argument);
+}
+
+TEST(BlackholeSpec, ParsesAndRejects) {
+  const auto h = nscc::fault::parse_blackhole_spec("0.1:0.5:2:0");
+  EXPECT_EQ(h.src, 2);
+  EXPECT_EQ(h.dst, 0);
+  EXPECT_EQ(h.window.start,
+            static_cast<Time>(0.1 * static_cast<double>(kSecond)));
+  using nscc::fault::parse_blackhole_spec;
+  EXPECT_THROW(parse_blackhole_spec("0.1:0.5:2"), std::invalid_argument);
+  EXPECT_THROW(parse_blackhole_spec("0.1:0.5:1:1"),
+               std::invalid_argument);  // src == dst
+  EXPECT_THROW(parse_blackhole_spec("0.5:0.1:2:0"),
+               std::invalid_argument);  // start >= end
+}
+
+TEST(FaultFlags, PartitionAndBlackholeRoundTripThroughPlan) {
+  nscc::util::Flags flags;
+  nscc::fault::add_flags(flags);
+  const char* argv[] = {"prog", "--partition-at=0.2:0.6:0,1|2,3",
+                        "--blackhole-at=0.1:0.5:2:0"};
+  ASSERT_TRUE(flags.parse(3, const_cast<char**>(argv)));
+  const FaultPlan plan = nscc::fault::plan_from_flags(flags);
+  EXPECT_TRUE(plan.partitionable());
+  ASSERT_EQ(plan.partitions.size(), 1u);
+  ASSERT_EQ(plan.blackholes.size(), 1u);
+  EXPECT_EQ(plan.blackholes[0].src, 2);
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultFlags, MalformedPartitionSpecThrowsFromPlan) {
+  nscc::util::Flags flags;
+  nscc::fault::add_flags(flags);
+  const char* argv[] = {"prog", "--partition-at=0.2:0.6:junk"};
+  ASSERT_TRUE(flags.parse(2, const_cast<char**>(argv)));
+  EXPECT_THROW(nscc::fault::plan_from_flags(flags), std::invalid_argument);
 }
 
 TEST(FaultFlags, EnvironmentOverrides) {
