@@ -6,6 +6,7 @@
 #include <map>
 #include <vector>
 
+#include "harness/policy.hpp"
 #include "net/load_generator.hpp"
 #include "obs/obs.hpp"
 #include "recovery/recovery.hpp"
@@ -166,24 +167,8 @@ ParallelInferenceResult run_parallel_logic_sampling(
         return -1;
       };
 
-      dsm::PropagationPolicy prop{
-          .read_timeout = config.propagation.read_timeout,
-          .partition_heal = config.propagation.partition_heal,
-          .integrity = config.propagation.integrity};
-      if (rc != nullptr) {
-        if (rc->partitioned()) {
-          prop.writer_alive = [rcp = rc, me](int node) {
-            return rcp->alive(me, node);
-          };
-          prop.in_quorum = [rcp = rc, me] { return rcp->in_quorum(me); };
-        } else {
-          prop.writer_alive = [rcp = rc](int node) {
-            return rcp->alive(node);
-          };
-        }
-        if (prop.read_timeout <= 0) prop.read_timeout = 50 * sim::kMillisecond;
-      }
-      dsm::SharedSpace space(task, prop);
+      dsm::SharedSpace space(
+          task, harness::make_policy(config, {.recovery = rc, .self = me}));
       for (int k = 0; k <= max_phase; ++k) {
         if (live(me, k)) space.declare_written(block_loc(me, k), all_others);
       }
@@ -776,6 +761,9 @@ ParallelInferenceResult run_parallel_logic_sampling(
     result.heal_frames += out.dsm.heal_frames;
     result.diverged_locations += out.dsm.diverged_marks;
     result.reconciled_locations += out.dsm.reconciled_marks;
+    result.updates_parked += out.dsm.updates_parked;
+    result.updates_flushed += out.dsm.updates_flushed;
+    result.ooo_updates += out.dsm.ooo_updates;
     result.messages_sent += vm.task(p).stats().messages_sent;
     result.bytes_sent += vm.task(p).stats().bytes_sent;
     for (const QueryEstimate& est : out.estimates) {

@@ -108,6 +108,12 @@ struct ParallelInferenceResult {
   std::uint64_t degraded_reads = 0;
   /// Damaged DSM frames quarantined (integrity checking enabled only).
   std::uint64_t integrity_dropped = 0;
+  /// Consistency-model diagnostics (zero under the default nonstrict
+  /// model): updates parked until an acquire, parked updates published at
+  /// acquires, and release stamps that arrived out of order.
+  std::uint64_t updates_parked = 0;
+  std::uint64_t updates_flushed = 0;
+  std::uint64_t ooo_updates = 0;
   /// Partition diagnostics (zero unless the fault plan scheduled
   /// partition/blackhole windows).
   std::uint64_t partition_drops = 0;        ///< Frames cut by the split.

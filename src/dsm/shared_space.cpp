@@ -7,6 +7,27 @@
 
 namespace nscc::dsm {
 
+namespace {
+
+/// Marks the enclosing read as an acquire point for a parking model:
+/// arriving updates apply immediately while it is in scope (restored on
+/// exit, exception-safe).
+class AcquireScope {
+ public:
+  AcquireScope(bool enabled, bool& flag) : flag_(flag), prev_(flag) {
+    if (enabled) flag_ = true;
+  }
+  ~AcquireScope() { flag_ = prev_; }
+  AcquireScope(const AcquireScope&) = delete;
+  AcquireScope& operator=(const AcquireScope&) = delete;
+
+ private:
+  bool& flag_;
+  bool prev_;
+};
+
+}  // namespace
+
 const char* mode_name(Mode m) noexcept {
   switch (m) {
     case Mode::kSynchronous:
@@ -21,6 +42,12 @@ const char* mode_name(Mode m) noexcept {
 
 SharedSpace::SharedSpace(rt::Task& task, PropagationPolicy policy)
     : task_(task), policy_(std::move(policy)) {
+  // Resolve the consistency model first: its shape() may rewrite the
+  // transport-facing policy knobs everything below reads.
+  model_ = ConsistencyRegistry::instance().make(policy_.consistency);
+  model_->shape(policy_);
+  park_updates_ = !model_->visible_on_arrival();
+  stamp_updates_ = model_->stamps_updates();
   if (policy_.read_timeout_jitter > 0.0) {
     jitter_rng_.emplace(policy_.jitter_seed ^
                         (0x9E3779B97F4A7C15ULL *
@@ -112,6 +139,17 @@ SharedSpace::~SharedSpace() {
   if (stats_.merges > 0) {
     reg.counter("dsm.partition.merges", pid).inc(stats_.merges);
   }
+  // Consistency-model counters only when the model actually engaged them,
+  // so nonstrict runs keep an unchanged metrics footprint.
+  if (stats_.updates_parked > 0) {
+    reg.counter("dsm.consistency.updates_parked", pid)
+        .inc(stats_.updates_parked);
+    reg.counter("dsm.consistency.updates_flushed", pid)
+        .inc(stats_.updates_flushed);
+  }
+  if (stats_.ooo_updates > 0) {
+    reg.counter("dsm.consistency.ooo_updates", pid).inc(stats_.ooo_updates);
+  }
 }
 
 void SharedSpace::declare_written(LocationId loc, std::vector<int> readers) {
@@ -142,6 +180,9 @@ void SharedSpace::send_update(LocationId loc, int reader, Iteration iteration,
   payload.pack_i64(iteration);
   payload.pack_packet(value);
   if (policy_.integrity) payload.pack_u32(value.crc32());
+  // Ordering metadata last: a release-stamping model sequences every send
+  // (organic writes, demand replies, heal republishes alike).
+  if (stamp_updates_) payload.pack_u64(model_->next_stamp());
 
   if (obs_ != nullptr) {
     obs_->tracer().instant(task_.id(), "dsm.update.send", task_.now(), "loc",
@@ -269,6 +310,19 @@ void SharedSpace::write(LocationId loc, Iteration iteration, rt::Packet value) {
 }
 
 void SharedSpace::apply_update(rt::Message& msg) {
+  // Release/acquire visibility: between acquire points an arriving update
+  // is parked in wire form — the release log — and published only when the
+  // reader next acquires.  Inside an acquire (including a blocked
+  // Global_Read, which IS the acquire), updates apply immediately.
+  if (park_updates_ && !acquiring_) {
+    ++stats_.updates_parked;
+    if (obs_ != nullptr) {
+      obs_->tracer().instant(task_.id(), "dsm.update.park", task_.now(),
+                             "src", msg.src);
+    }
+    parked_.push_back({peek_stamp(msg.payload), std::move(msg)});
+    return;
+  }
   // Parse defensively: with the transport's frame check disabled (or
   // corruption the CRC missed), the bytes on the mailbox can be garbage.
   // A frame that cannot be decoded, or whose payload checksum disagrees
@@ -279,6 +333,7 @@ void SharedSpace::apply_update(rt::Message& msg) {
   LocationId loc = 0;
   Iteration iteration = 0;
   rt::Packet data;
+  std::uint64_t stamp = 0;
   bool parsed = false;
   bool intact = true;
   try {
@@ -288,6 +343,7 @@ void SharedSpace::apply_update(rt::Message& msg) {
     if (policy_.integrity) {
       intact = payload.unpack_u32() == data.crc32();
     }
+    if (stamp_updates_) stamp = payload.unpack_u64();
     parsed = true;
   } catch (const std::out_of_range&) {
   }
@@ -305,6 +361,12 @@ void SharedSpace::apply_update(rt::Message& msg) {
   if (it == local_.end() || read_from_.count(loc) == 0) {
     throw std::logic_error(
         "SharedSpace: update received for a location not declared_read");
+  }
+  // Release-order accounting: newest-wins below still decides what is
+  // applied; the stamp check only measures how often the wire reordered
+  // releases (reliable resends overtaking best-effort ones).
+  if (stamp_updates_ && !model_->note_stamp(msg.src, stamp)) {
+    ++stats_.ooo_updates;
   }
   if (observer_) {
     data.rewind();
@@ -334,6 +396,7 @@ void SharedSpace::apply_update(rt::Message& msg) {
       }
     }
     maybe_reconcile(loc, iteration);
+    model_->note_copy(loc, meta_of(v));
   } else if (policy_.merge && v.valid && iteration == v.iteration) {
     // Concurrent copies of the same iteration (both sides of a split wrote
     // it independently): the workload's commutative merge composes them
@@ -348,6 +411,7 @@ void SharedSpace::apply_update(rt::Message& msg) {
                              "loc", loc, "iter", iteration);
     }
     maybe_reconcile(loc, iteration);
+    model_->note_copy(loc, meta_of(v));
   } else {
     ++stats_.updates_stale_dropped;
     if (obs_ != nullptr) {
@@ -355,6 +419,41 @@ void SharedSpace::apply_update(rt::Message& msg) {
                              "loc", loc, "iter", iteration);
     }
   }
+}
+
+std::uint64_t SharedSpace::peek_stamp(rt::Packet& payload) const {
+  if (!stamp_updates_) return 0;
+  std::uint64_t stamp = 0;
+  try {
+    (void)payload.unpack_i32();
+    (void)payload.unpack_i64();
+    (void)payload.unpack_packet();
+    if (policy_.integrity) (void)payload.unpack_u32();
+    stamp = payload.unpack_u64();
+  } catch (const std::out_of_range&) {
+    // A garbled frame sorts first (stamp 0) and is quarantined when the
+    // flush actually applies it.
+  }
+  payload.rewind();
+  return stamp;
+}
+
+void SharedSpace::flush_parked() {
+  if (parked_.empty()) return;
+  // Publish the release log in (writer, release-stamp) order so each
+  // writer's updates become visible in the order they were released,
+  // whatever the wire interleaved.
+  std::stable_sort(parked_.begin(), parked_.end(),
+                   [](const ParkedUpdate& a, const ParkedUpdate& b) {
+                     return a.msg.src != b.msg.src ? a.msg.src < b.msg.src
+                                                   : a.stamp < b.stamp;
+                   });
+  // Swap out first: an apply below may re-enter (observer hooks), and a
+  // fresh arrival mid-flush applies directly (acquiring_ is set).
+  std::vector<ParkedUpdate> batch;
+  batch.swap(parked_);
+  stats_.updates_flushed += batch.size();
+  for (ParkedUpdate& p : batch) apply_update(p.msg);
 }
 
 void SharedSpace::mark_diverged(LocationId loc, Iteration need) {
@@ -466,6 +565,11 @@ void SharedSpace::poll() {
 }
 
 const SharedSpace::Value& SharedSpace::read(LocationId loc) {
+  // Every read entry is an acquire point under a parking model: the
+  // release log publishes before the freshest copy is chosen.  poll() on
+  // its own is NOT an acquire — it only drains the mailbox into the log.
+  AcquireScope acquire(park_updates_, acquiring_);
+  if (park_updates_) flush_parked();
   poll();
   auto it = local_.find(loc);
   if (it == local_.end()) {
@@ -495,9 +599,14 @@ const SharedSpace::Value& SharedSpace::global_read(LocationId loc,
   const Iteration need = curr_iter - age;
   Value& v = it->second;
   const bool was_fresh = v.valid && v.iteration >= need;
+  // Global_Read is THE acquire point: a parking model's release log
+  // publishes here (and a blocked wait below keeps applying arrivals
+  // directly — the acquire is in progress).
+  AcquireScope acquire(park_updates_, acquiring_);
+  if (park_updates_) flush_parked();
   poll();
 
-  if (!v.valid || v.iteration < need) {
+  if (!model_->admit(loc, curr_iter, age, meta_of(v))) {
     ++stats_.global_read_blocks;
     if (read_blocked_ != nullptr) read_blocked_->inc();
     bool escalated = false;
@@ -532,7 +641,7 @@ const SharedSpace::Value& SharedSpace::global_read(LocationId loc,
     const int writer = writer_it != read_from_.end() ? writer_it->second : -1;
     sim::Time budget = policy_.read_timeout;
     sim::Time remaining = budget;
-    while (!v.valid || v.iteration < need) {
+    while (!model_->admit(loc, curr_iter, age, meta_of(v))) {
       if (degradable && writer >= 0 && !policy_.writer_alive(writer)) {
         v.degraded = true;
         degraded_here = true;

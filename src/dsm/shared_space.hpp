@@ -21,6 +21,11 @@
 // (location, reader) in flight and merges bursts of writes into the latest
 // value — the buffering freedom the paper attributes to asynchronous DSMs
 // (Section 1, Mermera discussion).
+//
+// The admission rule above is one ConsistencyModel (dsm/consistency.hpp);
+// PropagationPolicy::consistency selects among the registered models
+// (regional fences, release/acquire visibility, eventual) with "nonstrict"
+// — the paper's rule — as the byte-identical default.
 #pragma once
 
 #include <cstdint>
@@ -28,8 +33,10 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "dsm/consistency.hpp"
 #include "obs/obs.hpp"
 #include "rt/packet.hpp"
 #include "rt/vm.hpp"
@@ -39,8 +46,8 @@
 
 namespace nscc::dsm {
 
-using LocationId = std::int32_t;
-using Iteration = std::int64_t;
+// LocationId / Iteration live in dsm/consistency.hpp (the model interface
+// is the lower layer; this header builds the cache on top of it).
 
 /// How a program uses the shared space each iteration; apps map this to
 /// barrier()+fresh reads, plain reads, or global_read with an age bound.
@@ -136,6 +143,13 @@ struct PropagationPolicy {
   /// default: the checksum changes the update wire format (4 bytes), so
   /// corruption-free baselines stay byte-identical.
   bool integrity = false;
+  /// Which ConsistencyModel (dsm/consistency.hpp) governs this space: the
+  /// read-admission rule, the update-visibility rule, and any ordering
+  /// metadata on the wire.  Resolved against the ConsistencyRegistry at
+  /// SharedSpace construction (unknown names throw); the model's shape()
+  /// may override the transport knobs above.  "nonstrict" is the paper's
+  /// per-read bounded-staleness rule and changes nothing.
+  std::string consistency = "nonstrict";
 };
 
 struct DsmStats {
@@ -158,6 +172,9 @@ struct DsmStats {
   std::uint64_t diverged_marks = 0;     ///< Locations that served diverged.
   std::uint64_t reconciled_marks = 0;   ///< Diverged marks later healed.
   std::uint64_t merges = 0;             ///< Commutative-merge applications.
+  std::uint64_t updates_parked = 0;   ///< Arrivals deferred to an acquire.
+  std::uint64_t updates_flushed = 0;  ///< Parked updates applied at acquires.
+  std::uint64_t ooo_updates = 0;      ///< Stamps that arrived out of order.
   /// Staleness (curr_iter - value iteration) of every global_read, as this
   /// task's "dsm.staleness" histogram in the machine's metrics registry.
   /// The registry is the single source of truth — the machine-wide
@@ -216,9 +233,11 @@ class SharedSpace {
   /// programs use this).
   const Value& read(LocationId loc);
 
-  /// The Global_Read primitive.  Blocks until the local copy of `loc` is
-  /// valid AND was generated at iteration >= curr_iter - age (a location
-  /// never written blocks until its first value arrives, whatever the age).
+  /// The Global_Read primitive.  Blocks until the consistency model admits
+  /// the local copy of `loc`; under the default nonstrict model that means
+  /// valid AND generated at iteration >= curr_iter - age (a location never
+  /// written blocks until its first value arrives, whatever the age).
+  /// Also the acquire point for models that defer update visibility.
   const Value& global_read(LocationId loc, Iteration curr_iter, Iteration age);
 
   /// Drain pending DSM update messages without blocking (asynchronous
@@ -261,6 +280,17 @@ class SharedSpace {
   };
 
   void apply_update(rt::Message& msg);
+  /// Release/acquire visibility: apply every parked update, ordered by
+  /// (writer, release stamp).  Runs at acquire points with acquiring_ set
+  /// so the re-entrant apply_update calls go through instead of re-parking.
+  void flush_parked();
+  /// Non-destructively extract the ordering stamp from an update payload
+  /// (0 when stamping is off or the frame is garbled); rewinds the cursor.
+  [[nodiscard]] std::uint64_t peek_stamp(rt::Packet& payload) const;
+  /// The local copy's metadata as the consistency model sees it.
+  [[nodiscard]] static CopyMeta meta_of(const Value& v) noexcept {
+    return CopyMeta{v.iteration, v.valid, v.degraded, v.epoch};
+  }
   void serve_request(rt::Packet& payload, int from);
   void drain_requests();
   void send_update(LocationId loc, int reader, Iteration iteration,
@@ -290,6 +320,23 @@ class SharedSpace {
 
   rt::Task& task_;
   PropagationPolicy policy_;
+  /// The consistency model governing this space (never null): admission,
+  /// visibility, and ordering are delegated here; policy_.consistency
+  /// names it and the registry built it.
+  std::unique_ptr<ConsistencyModel> model_;
+  /// Cached model capabilities (hot-path: one bool test, no virtual call).
+  bool park_updates_ = false;   ///< !model_->visible_on_arrival()
+  bool stamp_updates_ = false;  ///< model_->stamps_updates()
+  /// True while inside an acquire point (any read entry): arriving updates
+  /// apply immediately instead of parking.
+  bool acquiring_ = false;
+  /// The release log: updates that arrived between acquires, still in wire
+  /// form, waiting for the next acquire to publish them.
+  struct ParkedUpdate {
+    std::uint64_t stamp = 0;
+    rt::Message msg;
+  };
+  std::vector<ParkedUpdate> parked_;
   UpdateObserver observer_;
   /// Observability handles, resolved once at construction; null when the
   /// machine's hub is inactive so every hot-path guard is one branch.

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "ga/chromosome.hpp"
+#include "harness/policy.hpp"
 #include "net/load_generator.hpp"
 #include "recovery/recovery.hpp"
 
@@ -105,30 +106,16 @@ IslandResult run_island_ga(const IslandConfig& config,
       const double my_speed = speed[static_cast<std::size_t>(d)];
       util::Xoshiro256 jitter_rng = task.rng().split(0xba5e);
 
-      // Synchronous mode has no staleness tolerance: with a reliable
-      // transport available, its updates must ride it (a lost age-0 update
-      // would otherwise stall the barrier-step pipeline until recovery).
-      dsm::PropagationPolicy prop = config.propagation;
-      if (config.mode == dsm::Mode::kSynchronous &&
-          task.vm().config().transport.enabled) {
-        prop.reliable_updates = true;
-      }
+      // The deme honours the run's full policy (jitter, merge hooks) and
+      // adds the sync reliable-updates rule plus the recovery wiring —
+      // all via the shared harness mapping.
       recovery::Coordinator* rc = coord.get();
-      if (rc != nullptr) {
-        if (rc->partitioned()) {
-          // Per-node membership: this deme judges peers from the
-          // heartbeats it received, and degrades (never declares) while
-          // it cannot hear a quorum.
-          prop.writer_alive = [rc, d](int node) { return rc->alive(d, node); };
-          prop.in_quorum = [rc, d] { return rc->in_quorum(d); };
-        } else {
-          prop.writer_alive = [rc](int node) { return rc->alive(node); };
-        }
-        // Rejoin liveness needs the starvation watchdog: a restarted deme's
-        // empty cache is only refilled promptly by explicit demands (peers
-        // blocked on *it* cannot be publishing meanwhile).
-        if (prop.read_timeout <= 0) prop.read_timeout = 50 * sim::kMillisecond;
-      }
+      dsm::PropagationPolicy prop = harness::make_policy(
+          config, {.full = true,
+                   .sync_reliable_updates = true,
+                   .transport_enabled = task.vm().config().transport.enabled,
+                   .recovery = rc,
+                   .self = d});
       dsm::SharedSpace space(task, prop);
       std::vector<int> readers;
       for (int r = 0; r < config.ndemes; ++r) {
@@ -329,6 +316,12 @@ IslandResult run_island_ga(const IslandConfig& config,
         outcomes[static_cast<std::size_t>(d)].dsm.diverged_marks;
     result.reconciled_locations +=
         outcomes[static_cast<std::size_t>(d)].dsm.reconciled_marks;
+    result.updates_parked +=
+        outcomes[static_cast<std::size_t>(d)].dsm.updates_parked;
+    result.updates_flushed +=
+        outcomes[static_cast<std::size_t>(d)].dsm.updates_flushed;
+    result.ooo_updates +=
+        outcomes[static_cast<std::size_t>(d)].dsm.ooo_updates;
   }
   if (vm.fault_injector() != nullptr) {
     result.partition_drops = vm.fault_injector()->stats().partition_drops +

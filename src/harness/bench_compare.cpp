@@ -44,6 +44,12 @@ struct Cell {
 std::string cell_key(const util::json::Value& rec) {
   std::string key = "workload=" + rec.string_or("workload", "?") +
                     " variant=" + rec.string_or("variant", "?");
+  // Model-matrix sweeps (schema v5) tag non-default cells; the absent field
+  // means nonstrict, so legacy baselines keep their keys.
+  if (const std::string cons = rec.string_or("consistency", "nonstrict");
+      cons != "nonstrict") {
+    key += " consistency=" + cons;
+  }
   char buf[96];
   std::snprintf(buf, sizeof buf, " age=%g seed=%g repeat=%g",
                 rec.number_or("age", 0), rec.number_or("seed", 0),

@@ -5,6 +5,7 @@
 #include <iostream>
 #include <stdexcept>
 
+#include "dsm/consistency.hpp"
 #include "harness/report.hpp"
 #include "harness/run_config.hpp"
 #include "harness/workload.hpp"
@@ -44,6 +45,12 @@ int drive(int argc, char** argv, const DriveOptions& options) {
                 "crash-recovery policy for stateful (--crash-at) windows")
       .add_double("checkpoint-interval", 0.5,
                   "virtual seconds between node checkpoints (0 disables)")
+      .add_enum("consistency", "nonstrict",
+                dsm::ConsistencyRegistry::instance().names(),
+                "consistency model applied by every DSM instance: nonstrict "
+                "(paper default), regional (region-scoped fences), "
+                "release-acquire (updates visible only at acquires), or "
+                "eventual (never block on staleness)")
       .add_enum("sanitize", "off", {"off", "track", "strict"},
                 "staleness sanitizer: audit every DSM read against the "
                 "workload's tolerance contract (strict exits nonzero on any "
@@ -120,9 +127,12 @@ int drive(int argc, char** argv, const DriveOptions& options) {
                         : std::vector<Scenario>{Scenario{}};
   const bool scenario_column = !scenarios.empty() && !scenarios[0].label.empty();
 
+  const std::string consistency = flags.get_string("consistency");
+
   RunConfig base;
   base.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   base.propagation.read_timeout = read_timeout;
+  base.propagation.consistency = consistency;
   base.recovery.policy =
       *recovery::policy_from_name(flags.get_string("recovery"));
   base.recovery.checkpoint_interval = static_cast<sim::Time>(
@@ -185,6 +195,10 @@ int drive(int argc, char** argv, const DriveOptions& options) {
                                           : options.title);
   std::vector<std::string> cols;
   if (scenario_column) cols.push_back(options.scenario_column);
+  // A non-default consistency model earns its own column; the default keeps
+  // the legacy table byte-identical.
+  const bool model_column = consistency != "nonstrict";
+  if (model_column) cols.push_back("model");
   cols.insert(cols.end(), {"variant", "completion s",
                            rows.empty() ? std::string("quality")
                                         : rows[0].stats.quality_name,
@@ -210,6 +224,7 @@ int drive(int argc, char** argv, const DriveOptions& options) {
   for (const auto& row : rows) {
     table.row();
     if (scenario_column) table.cell(row.scenario);
+    if (model_column) table.cell(consistency);
     const RunStats& s = row.stats;
     // Small figures of merit (residuals, near-optimal fitness) need
     // scientific notation; everything else reads best fixed.

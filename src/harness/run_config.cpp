@@ -35,6 +35,9 @@ std::vector<std::pair<std::string, double>> RunStats::to_fields() const {
       {"reconciled_locations", static_cast<double>(reconciled_locations)},
       {"split_brain_declarations",
        static_cast<double>(split_brain_declarations)},
+      {"updates_parked", static_cast<double>(updates_parked)},
+      {"updates_flushed", static_cast<double>(updates_flushed)},
+      {"ooo_updates", static_cast<double>(ooo_updates)},
       {quality_name, quality},
   };
   fields.insert(fields.end(), extra.begin(), extra.end());

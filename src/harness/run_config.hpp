@@ -79,6 +79,10 @@ struct RunStats {
   std::uint64_t diverged_locations = 0;     ///< Reader locations diverged.
   std::uint64_t reconciled_locations = 0;   ///< Diverged marks later healed.
   std::uint64_t split_brain_declarations = 0;  ///< Mutual dead declarations.
+  /// Consistency-model counters (zero under the default nonstrict model).
+  std::uint64_t updates_parked = 0;   ///< Arrivals deferred to an acquire.
+  std::uint64_t updates_flushed = 0;  ///< Parked updates applied at acquires.
+  std::uint64_t ooo_updates = 0;      ///< Release stamps out of order.
   /// The workload's own figure of merit (best fitness, posterior, residual,
   /// training loss, ...), labelled so tables and JSON stay self-describing.
   std::string quality_name = "quality";

@@ -24,7 +24,7 @@ void Sweep::configure(const util::Flags& flags) {
 }
 
 std::string Sweep::to_json() const {
-  std::string out = "{\n  \"schema\": \"nscc-bench-v4\",\n  \"bench\": ";
+  std::string out = "{\n  \"schema\": \"nscc-bench-v5\",\n  \"bench\": ";
   append_escaped(out, bench_);
   out += ",\n  \"results\": [";
   bool first = true;
@@ -35,6 +35,10 @@ std::string Sweep::to_json() const {
     append_escaped(out, r.workload);
     out += ", \"variant\": ";
     append_escaped(out, r.variant);
+    if (r.consistency != "nonstrict") {
+      out += ", \"consistency\": ";
+      append_escaped(out, r.consistency);
+    }
     char buf[96];
     std::snprintf(buf, sizeof buf, ", \"age\": %ld, \"seed\": %llu, \"repeat\": %d",
                   r.age, static_cast<unsigned long long>(r.seed), r.repeat);

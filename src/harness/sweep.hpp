@@ -24,6 +24,9 @@ namespace nscc::harness {
 struct SweepRecord {
   std::string workload;
   std::string variant;
+  /// Consistency model the cell ran under; serialised only when it differs
+  /// from the paper default so legacy baselines stay byte-identical.
+  std::string consistency = "nonstrict";
   long age = 0;
   std::uint64_t seed = 0;
   int repeat = 0;

@@ -54,6 +54,9 @@ void fill_partition(RunStats& stats, const Result& r) {
   stats.diverged_locations = r.diverged_locations;
   stats.reconciled_locations = r.reconciled_locations;
   stats.split_brain_declarations = r.recovery.split_brain_declarations;
+  stats.updates_parked = r.updates_parked;
+  stats.updates_flushed = r.updates_flushed;
+  stats.ooo_updates = r.ooo_updates;
 }
 
 /// The staleness bound each variant's read discipline promises: synchronous

@@ -6,6 +6,7 @@
 #include <optional>
 #include <utility>
 
+#include "harness/policy.hpp"
 #include "net/load_generator.hpp"
 #include "recovery/recovery.hpp"
 
@@ -165,10 +166,9 @@ TrainResult train_parallel(const Dataset& data, const TrainConfig& config,
   // ---- parameter server -------------------------------------------------------
   vm.add_task("server", [&](rt::Task& task) {
     Mlp net(config.layers, config.seed);
-    dsm::SharedSpace space(
-        task, {.read_timeout = config.propagation.read_timeout,
-               .partition_heal = config.propagation.partition_heal,
-               .integrity = config.propagation.integrity});
+    // The server publishes to everyone and blocks on no one, so it skips
+    // the recovery wiring (and its watchdog floor) entirely.
+    dsm::SharedSpace space(task, harness::make_policy(config, {}));
     std::vector<int> readers;
     for (int w = 1; w <= P; ++w) readers.push_back(w);
     space.declare_written(kParamsLoc, readers);
@@ -304,24 +304,8 @@ TrainResult train_parallel(const Dataset& data, const TrainConfig& config,
   for (int w = 1; w <= P; ++w) {
     vm.add_task("worker" + std::to_string(w), [&, w](rt::Task& task) {
       Mlp net(config.layers, config.seed);
-      dsm::PropagationPolicy prop{
-          .read_timeout = config.propagation.read_timeout,
-          .partition_heal = config.propagation.partition_heal,
-          .integrity = config.propagation.integrity};
-      if (rc != nullptr) {
-        if (rc->partitioned()) {
-          prop.writer_alive = [rcp = rc, w](int node) {
-            return rcp->alive(w, node);
-          };
-          prop.in_quorum = [rcp = rc, w] { return rcp->in_quorum(w); };
-        } else {
-          prop.writer_alive = [rcp = rc](int node) {
-            return rcp->alive(node);
-          };
-        }
-        if (prop.read_timeout <= 0) prop.read_timeout = 50 * sim::kMillisecond;
-      }
-      dsm::SharedSpace space(task, prop);
+      dsm::SharedSpace space(
+          task, harness::make_policy(config, {.recovery = rc, .self = w}));
       space.declare_read(kParamsLoc, 0);
       util::Xoshiro256 jitter_rng = task.rng().split(0xba5e);
       const double my_speed = speed[static_cast<std::size_t>(w)];
@@ -406,6 +390,9 @@ TrainResult train_parallel(const Dataset& data, const TrainConfig& config,
     result.heal_frames += d.heal_frames;
     result.diverged_locations += d.diverged_marks;
     result.reconciled_locations += d.reconciled_marks;
+    result.updates_parked += d.updates_parked;
+    result.updates_flushed += d.updates_flushed;
+    result.ooo_updates += d.ooo_updates;
   }
   result.heal_frames += server_dsm.heal_frames;
   if (vm.fault_injector() != nullptr) {

@@ -6,6 +6,7 @@
 #include <memory>
 #include <set>
 
+#include "harness/policy.hpp"
 #include "net/load_generator.hpp"
 #include "recovery/recovery.hpp"
 
@@ -163,26 +164,10 @@ ParallelJacobiResult run_parallel_jacobi(const LinearSystem& sys,
       const int lo = starts[static_cast<std::size_t>(me)];
       const int hi = starts[static_cast<std::size_t>(me) + 1];
 
-      dsm::PropagationPolicy prop{
-          .coalesce = config.propagation.coalesce,
-          .read_timeout = config.propagation.read_timeout,
-          .partition_heal = config.propagation.partition_heal,
-          .integrity = config.propagation.integrity};
       recovery::Coordinator* rc = coord.get();
-      if (rc != nullptr) {
-        if (rc->partitioned()) {
-          prop.writer_alive = [rc, me](int node) {
-            return rc->alive(me, node);
-          };
-          prop.in_quorum = [rc, me] { return rc->in_quorum(me); };
-        } else {
-          prop.writer_alive = [rc](int node) { return rc->alive(node); };
-        }
-        // Rejoin liveness needs the starvation watchdog (a restarted block's
-        // cache refills through explicit demands).
-        if (prop.read_timeout <= 0) prop.read_timeout = 50 * sim::kMillisecond;
-      }
-      dsm::SharedSpace space(task, prop);
+      dsm::SharedSpace space(
+          task, harness::make_policy(
+                    config, {.coalesce = true, .recovery = rc, .self = me}));
       space.declare_written(block_loc(me), readers[static_cast<std::size_t>(me)]);
       for (int src : imports[static_cast<std::size_t>(me)]) {
         space.declare_read(block_loc(src), src);
@@ -449,6 +434,9 @@ ParallelJacobiResult run_parallel_jacobi(const LinearSystem& sys,
     result.heal_frames += out.dsm.heal_frames;
     result.diverged_locations += out.dsm.diverged_marks;
     result.reconciled_locations += out.dsm.reconciled_marks;
+    result.updates_parked += out.dsm.updates_parked;
+    result.updates_flushed += out.dsm.updates_flushed;
+    result.ooo_updates += out.dsm.ooo_updates;
   }
   if (vm.fault_injector() != nullptr) {
     result.partition_drops = vm.fault_injector()->stats().partition_drops +
